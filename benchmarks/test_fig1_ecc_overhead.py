@@ -1,0 +1,31 @@
+"""Figure 1(b)/(c): per-word ECC storage and read-energy overheads."""
+
+from __future__ import annotations
+
+from repro.core import fig1_energy_overhead, fig1_storage_overhead
+
+from conftest import print_series
+
+
+def test_fig1b_storage_overhead(benchmark):
+    storage = benchmark(fig1_storage_overhead)
+    print_series(
+        "Fig. 1(b) — Extra memory storage (%)",
+        {f"{bits}b word": values for bits, values in storage.items()},
+    )
+    for word_bits in (64, 256):
+        values = storage[word_bits]
+        # Storage grows steeply with correction strength.
+        assert values["SECDED"] < values["DECTED"] < values["QECPED"] < values["OECNED"]
+    # Headline numbers from the paper: 12.5% SECDED vs 89.1% OECNED at 64b.
+    assert abs(storage[64]["SECDED"] - 12.5) < 0.1
+    assert abs(storage[64]["OECNED"] - 89.1) < 0.5
+
+
+def test_fig1c_energy_overhead(benchmark):
+    energy = benchmark(fig1_energy_overhead)
+    print_series("Fig. 1(c) — Extra energy per read (%)", energy)
+    for label, values in energy.items():
+        assert values["EDC8"] < values["SECDED"] < values["DECTED"] < values["OECNED"]
+        # Strong multi-bit ECC costs several times the light-weight codes.
+        assert values["OECNED"] > 4 * values["SECDED"]

@@ -1,0 +1,31 @@
+"""Figure 2(b)/(c): read energy vs physical bit-interleaving degree."""
+
+from __future__ import annotations
+
+from repro.core import fig2_interleaving_energy
+
+from conftest import print_series
+
+
+def test_fig2_interleaving_energy(benchmark):
+    results = benchmark(fig2_interleaving_energy)
+    for cache_label, per_target in results.items():
+        print_series(f"Fig. 2 — {cache_label} (normalized energy, 1:1..16:1)", per_target)
+
+    small = results["64kB cache (72,64)"]
+    large = results["4MB cache (266,256)"]
+
+    # Energy increases (essentially) monotonically with the interleaving
+    # degree; a small dip is tolerated where extra wordline segmentation
+    # kicks in at low degrees.
+    for per_target in (small, large):
+        for series in per_target.values():
+            assert all(b >= a * 0.95 for a, b in zip(series, series[1:]))
+            assert series[-1] > 2.0  # 16:1 is much more expensive than 1:1
+
+    # Power-focused optimization helps the small cache far more than the
+    # large wide-word cache (Fig. 2(c): all 4MB curves stay steep).
+    small_gain = small["Delay+Area Opt"][-1] / small["Power-only Opt"][-1]
+    large_gain = large["Delay+Area Opt"][-1] / large["Power-only Opt"][-1]
+    assert small_gain > 2.0
+    assert large_gain < 1.5

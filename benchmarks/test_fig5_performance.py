@@ -1,0 +1,53 @@
+"""Figure 5: IPC loss of 2D-protected caches on the fat and lean CMPs."""
+
+from __future__ import annotations
+
+from repro.core import fig5_performance
+
+from conftest import print_series
+
+_SCENARIO_LABELS = {
+    "l1": "L1 D-cache",
+    "l1_ps": "L1 D-cache + port stealing",
+    "l2": "L2 cache",
+    "l1_ps_l2": "L1 (PS) + L2",
+}
+
+
+def test_fig5_ipc_loss(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig5_performance(n_cycles=5_000, seed=7), rounds=1, iterations=1
+    )
+    for cmp_name, per_workload in results.items():
+        print_series(
+            f"Fig. 5 — {cmp_name} CMP: performance loss (% IPC)",
+            {
+                workload: {
+                    _SCENARIO_LABELS[key]: round(value, 2)
+                    for key, value in losses.items()
+                }
+                for workload, losses in per_workload.items()
+            },
+        )
+
+    fat = results["fat"]
+    lean = results["lean"]
+    workloads = list(fat)
+
+    def average(cmp_results, scenario):
+        return sum(cmp_results[w][scenario] for w in workloads) / len(workloads)
+
+    # Port stealing removes most of the fat CMP's L1 port contention.
+    assert average(fat, "l1_ps") < 0.6 * average(fat, "l1") + 0.5
+    # The fat CMP is more sensitive to L1 protection than the lean CMP...
+    assert average(fat, "l1") >= average(lean, "l1")
+    # ...while the lean CMP's loss is dominated by the shared L2.
+    assert average(lean, "l2") >= average(lean, "l1")
+    # With both caches protected the average loss stays in the low single
+    # digits (the paper reports 2.9% fat / 1.8% lean).
+    assert average(fat, "l1_ps_l2") < 8.0
+    assert average(lean, "l1_ps_l2") < 8.0
+    # All losses are non-negative.
+    for per_workload in results.values():
+        for losses in per_workload.values():
+            assert all(value >= 0.0 for value in losses.values())

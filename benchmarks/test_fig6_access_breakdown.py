@@ -1,0 +1,43 @@
+"""Figure 6: cache access breakdown per 100 cycles under 2D protection."""
+
+from __future__ import annotations
+
+from repro.core import fig6_access_breakdown
+
+from conftest import print_series
+
+
+def test_fig6_breakdown(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig6_access_breakdown(n_cycles=5_000, seed=7), rounds=1, iterations=1
+    )
+    for cmp_name, per_workload in results.items():
+        for level in ("l1", "l2"):
+            print_series(
+                f"Fig. 6 — {cmp_name} CMP, {level.upper()} accesses / 100 cycles",
+                {wl: {k: round(v, 1) for k, v in data[level].items()}
+                 for wl, data in per_workload.items()},
+            )
+
+    for cmp_name, per_workload in results.items():
+        for workload, data in per_workload.items():
+            for level in ("l1", "l2"):
+                breakdown = data[level]
+                total_base = (
+                    breakdown["Read: Inst"]
+                    + breakdown["Read: Data"]
+                    + breakdown["Write"]
+                    + breakdown["Fill/Evict"]
+                )
+                writes = breakdown["Write"] + breakdown["Fill/Evict"]
+                extra = breakdown["Extra Read for 2D Coding"]
+                # Write-type traffic is a minority of the accesses (reads
+                # dominate); the L2 sees a somewhat higher write share than
+                # the L1 because of write-backs and fills.
+                assert writes < 0.6 * total_base
+                # The extra reads track the write-type traffic exactly
+                # (every write/fill is converted to read-before-write).
+                assert abs(extra - writes) / max(writes, 1e-9) < 0.05
+                # Roughly "20% more cache requests" in the paper's words;
+                # allow a generous band around that.
+                assert 0.05 < extra / total_base < 0.65

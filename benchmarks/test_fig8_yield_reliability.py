@@ -1,0 +1,47 @@
+"""Figure 8: yield and in-the-field reliability of ECC-based hard-error repair."""
+
+from __future__ import annotations
+
+from repro.core import fig8_reliability, fig8_yield
+
+from conftest import print_series
+
+
+def test_fig8a_yield(benchmark):
+    curves = benchmark(lambda: fig8_yield(tuple(range(0, 4001, 400))))
+    print_series(
+        "Fig. 8(a) — 16MB L2 yield vs failing cells",
+        {label: [round(v, 3) for v in values] for label, values in curves.items()},
+    )
+    spares_only = curves["Spare_128"]
+    ecc_only = curves["ECC Only"]
+    ecc_16 = curves["ECC + Spare_16"]
+    ecc_32 = curves["ECC + Spare_32"]
+
+    # Spares-only collapses first, ECC-only degrades steadily, and the
+    # combination keeps the yield high across the whole sweep.
+    assert spares_only[-1] < 0.01
+    assert ecc_only[-1] < 0.2
+    assert min(ecc_16) > 0.9
+    assert min(ecc_32) >= min(ecc_16)
+    # Monotone non-increasing curves.
+    for series in (spares_only, ecc_only, ecc_16, ecc_32):
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_fig8b_reliability(benchmark):
+    curves = benchmark(fig8_reliability)
+    print_series(
+        "Fig. 8(b) — probability all soft errors avoid faulty words (5-year horizon)",
+        {label: [round(v, 3) for v in values] for label, values in curves.items()},
+    )
+    assert all(value == 1.0 for value in curves["With 2D coding"])
+    # Without 2D coding, reliability decays over time and with the hard
+    # error rate; at HER=0.005% a large fraction of systems see an
+    # uncorrectable combination within 5 years (paper Fig. 8(b)).
+    low = curves["Without 2D, HER=0.0005%"]
+    high = curves["Without 2D, HER=0.005%"]
+    assert high[-1] < low[-1]
+    assert high[-1] < 0.5
+    for series in (low, high):
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Multi-bit Error Tolerant Caches Using
+Two-Dimensional Error Coding" (Kim, Hardavellas, Mai, Falsafi, Hoe;
+MICRO-40, 2007).
+
+The package is organized bottom-up:
+
+* :mod:`repro.coding` — per-word EDC/ECC codes (interleaved parity,
+  SECDED, BCH) and their VLSI overhead models.
+* :mod:`repro.errors` — soft/hard error event models and injectors.
+* :mod:`repro.array` — bit-accurate SRAM arrays with 2D protection and the
+  BIST/BISR-style recovery algorithm.
+* :mod:`repro.cache` — set-associative cache substrate with ports, banks,
+  MSHRs and the read-before-write controller.
+* :mod:`repro.cmp` — trace-driven performance models of the paper's "fat"
+  and "lean" CMPs.
+* :mod:`repro.workloads` — synthetic workload trace generators.
+* :mod:`repro.vlsi` — Cacti-like area/delay/energy models.
+* :mod:`repro.reliability` — yield and in-the-field reliability models.
+* :mod:`repro.core` — the 2D coding schemes, protected array/cache
+  facades, coverage analysis and experiment drivers.
+"""
+
+from importlib import metadata as _metadata
+
+try:  # pragma: no cover - depends on install state
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover
+    __version__ = "0.0.0.dev0"
+
+__all__ = ["__version__"]

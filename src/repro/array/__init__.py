@@ -1,0 +1,26 @@
+"""SRAM array substrate: raw arrays, layouts, 2D protection and recovery."""
+
+from .layout import BankLayout
+from .recovery import RecoveryReport, run_recovery
+from .spare import RepairOutcome, SpareRowRepair
+from .sram import ArrayAccessCounters, SramArray
+from .twod_array import (
+    ProtectionStats,
+    ReadOutcome,
+    ReadStatus,
+    TwoDProtectedArray,
+)
+
+__all__ = [
+    "BankLayout",
+    "RecoveryReport",
+    "run_recovery",
+    "RepairOutcome",
+    "SpareRowRepair",
+    "ArrayAccessCounters",
+    "SramArray",
+    "ProtectionStats",
+    "ReadOutcome",
+    "ReadStatus",
+    "TwoDProtectedArray",
+]

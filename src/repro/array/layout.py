@@ -1,0 +1,132 @@
+"""Logical-word to physical-cell layout of a protected array.
+
+A protected bank stores, per logical word, a *codeword* = data bits plus
+horizontal check bits.  ``interleave_degree`` codewords share one physical
+row in bit-interleaved (column-multiplexed) fashion, exactly as in
+Fig. 2(a) of the paper: bit ``i`` of the word in slot ``s`` lives in
+physical column ``i * D + s``.
+
+The layout object answers the two questions everything else needs:
+
+* where (row, columns) does logical word ``w`` live, and
+* which logical word(s) does a physical cell belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BankLayout"]
+
+
+@dataclass(frozen=True)
+class BankLayout:
+    """Geometry of one protected SRAM bank.
+
+    Attributes
+    ----------
+    n_words:
+        Total number of logical words stored in the bank.
+    data_bits:
+        Data bits per logical word.
+    check_bits:
+        Horizontal check bits per logical word.
+    interleave_degree:
+        Number of codewords physically interleaved per row (``D``).
+    """
+
+    n_words: int
+    data_bits: int
+    check_bits: int
+    interleave_degree: int
+
+    def __post_init__(self) -> None:
+        if self.n_words < 1:
+            raise ValueError("n_words must be positive")
+        if self.data_bits < 1 or self.check_bits < 0:
+            raise ValueError("invalid word geometry")
+        if self.interleave_degree < 1:
+            raise ValueError("interleave_degree must be >= 1")
+        if self.n_words % self.interleave_degree:
+            raise ValueError(
+                "n_words must be a multiple of the interleave degree so rows are full"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def codeword_bits(self) -> int:
+        """Bits per codeword (data + horizontal check bits)."""
+        return self.data_bits + self.check_bits
+
+    @property
+    def rows(self) -> int:
+        """Number of physical data rows in the bank."""
+        return self.n_words // self.interleave_degree
+
+    @property
+    def row_bits(self) -> int:
+        """Cells per physical row."""
+        return self.codeword_bits * self.interleave_degree
+
+    @property
+    def data_capacity_bits(self) -> int:
+        return self.n_words * self.data_bits
+
+    # ------------------------------------------------------------------
+    def word_location(self, word_index: int) -> tuple[int, int]:
+        """Return ``(row, slot)`` of a logical word."""
+        if not 0 <= word_index < self.n_words:
+            raise ValueError(f"word index {word_index} out of range")
+        return word_index // self.interleave_degree, word_index % self.interleave_degree
+
+    def word_index(self, row: int, slot: int) -> int:
+        """Inverse of :meth:`word_location`."""
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range")
+        if not 0 <= slot < self.interleave_degree:
+            raise ValueError(f"slot {slot} out of range")
+        return row * self.interleave_degree + slot
+
+    def codeword_columns(self, slot: int) -> np.ndarray:
+        """Physical columns of the codeword stored in interleave slot ``slot``.
+
+        Returned in codeword-bit order: entry ``i`` is the physical column
+        of codeword bit ``i`` (data bits first, then check bits).
+        """
+        if not 0 <= slot < self.interleave_degree:
+            raise ValueError(f"slot {slot} out of range")
+        return np.arange(self.codeword_bits) * self.interleave_degree + slot
+
+    def data_columns(self, slot: int) -> np.ndarray:
+        """Physical columns of just the data bits of slot ``slot``."""
+        return self.codeword_columns(slot)[: self.data_bits]
+
+    def check_columns(self, slot: int) -> np.ndarray:
+        """Physical columns of just the check bits of slot ``slot``."""
+        return self.codeword_columns(slot)[self.data_bits :]
+
+    def cell_owner(self, column: int) -> tuple[int, int]:
+        """Return ``(slot, codeword_bit)`` owning a physical column."""
+        if not 0 <= column < self.row_bits:
+            raise ValueError(f"column {column} out of range")
+        return column % self.interleave_degree, column // self.interleave_degree
+
+    # ------------------------------------------------------------------
+    def split_codeword(self, codeword: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a codeword bit vector into ``(data, check)`` parts."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        if codeword.size != self.codeword_bits:
+            raise ValueError(
+                f"codeword must have {self.codeword_bits} bits, got {codeword.size}"
+            )
+        return codeword[: self.data_bits].copy(), codeword[self.data_bits :].copy()
+
+    def join_codeword(self, data: np.ndarray, check: np.ndarray) -> np.ndarray:
+        """Concatenate data and check bits into a codeword vector."""
+        data = np.asarray(data, dtype=np.uint8)
+        check = np.asarray(check, dtype=np.uint8)
+        if data.size != self.data_bits or check.size != self.check_bits:
+            raise ValueError("data/check sizes do not match the layout")
+        return np.concatenate([data, check])

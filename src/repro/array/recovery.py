@@ -1,0 +1,401 @@
+"""The 2D recovery process (Fig. 4(b)) — BIST/BISR-style reconstruction.
+
+When the horizontal code detects an error it cannot correct in-line, the
+controller walks the whole bank, much like a BIST march, iterating three
+phases until nothing changes:
+
+1. **Scrub** — every row is read and checked slot-by-slot with the
+   horizontal code.  Slots the horizontal code can repair (the grey "ECC
+   correct" box in Fig. 4(b)) are repaired and written back; rows with at
+   least one uncorrectable slot are flagged faulty.
+2. **Row reconstruction** — for every vertical parity group containing
+   exactly one faulty row, the faulty row is rebuilt as the XOR of the
+   group's parity row with all the other (known-good) rows of the group,
+   then written back.  This is the main correction path; it covers any
+   clustered error spanning at most ``V`` rows (the paper's 32).
+3. **Column-guided correction** — groups still holding multiple faulty
+   rows indicate a large-scale failure along one or more columns
+   (Section 4: "many rows detect a single-bit error in the same bit
+   position").  The vertical parity syndromes identify suspect physical
+   columns; each remaining faulty word is repaired by flipping the
+   smallest subset of suspect columns — restricted to the positions its
+   horizontal syndrome allows — that makes its horizontal code pass.
+   Fixing some rows this way can unblock phase 2 for others, hence the
+   outer iteration.
+
+Rows that remain inconsistent after the iteration converges exceeded the
+scheme's coverage and are reported as unrecovered rather than silently
+miscorrected.
+
+The recovery latency is modelled the way the paper describes it — "similar
+to a simple BIST march test applied to the data array", i.e. a couple of
+array accesses per row plus the rewrites.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["RecoveryReport", "run_recovery", "RecoverableBank"]
+
+#: Upper bound on suspect columns per word slot before the column-guided
+#: phase gives up on subset search (keeps the search bounded; failures
+#: within the scheme's coverage stay far below this).
+_MAX_CANDIDATES_PER_SLOT = 12
+
+#: Maximum outer iterations of the scrub/row/column phases.
+_MAX_ITERATIONS = 4
+
+
+class RecoverableBank(Protocol):
+    """The slice of the protected-array interface recovery relies on."""
+
+    @property
+    def layout(self): ...
+
+    @property
+    def horizontal_code(self): ...
+
+    @property
+    def vertical_groups(self) -> int: ...
+
+    def rows_in_group(self, group: int) -> range: ...
+
+    def read_physical_row(self, row: int) -> np.ndarray: ...
+
+    def write_physical_row(self, row: int, bits: np.ndarray) -> None: ...
+
+    def read_parity_row(self, group: int) -> np.ndarray: ...
+
+    def decode_row(self, row_bits: np.ndarray) -> list["np.ndarray | None"]: ...
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass found and repaired."""
+
+    #: Rows whose content was rebuilt (row index -> full reconstructed row).
+    reconstructed_rows: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Rows where the horizontal code repaired small errors during the scrub.
+    scrubbed_rows: tuple[int, ...] = ()
+    #: Rows that could not be reconstructed (coverage exceeded).
+    unrecovered_rows: tuple[int, ...] = ()
+    #: Estimated latency of the pass in array-access cycles (BIST-march-like).
+    estimated_cycles: int = 0
+    #: Number of outer scrub/row/column iterations executed.
+    iterations: int = 0
+
+    @property
+    def success(self) -> bool:
+        """True when every flagged row was repaired."""
+        return not self.unrecovered_rows
+
+
+class _RecoverySession:
+    """Mutable working state shared by the recovery phases."""
+
+    def __init__(self, bank: RecoverableBank):
+        self.bank = bank
+        self.layout = bank.layout
+        self.accesses = 0
+        #: Current best-known content per row (horizontally repaired where
+        #: possible; raw observed bits in slots that are still faulty).
+        self.content: dict[int, np.ndarray] = {}
+        #: row -> list of slot indices that still fail the horizontal code.
+        self.faulty_slots: dict[int, list[int]] = {}
+        self.scrubbed: set[int] = set()
+        self.reconstructed: dict[int, np.ndarray] = {}
+        #: Physical columns where errors have already been observed and
+        #: repaired (during the scrub or row reconstruction), with a count.
+        #: A column that keeps showing up across rows is the signature of a
+        #: column failure and guides the column-guided phase even when the
+        #: remaining groups' parity syndromes cancel.
+        self.observed_error_columns: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def scrub(self) -> None:
+        """Phase 1: read and horizontally check/repair every row."""
+        bank = self.bank
+        self.faulty_slots.clear()
+        for row in range(self.layout.rows):
+            observed = bank.read_physical_row(row)
+            self.accesses += 1
+            slots = bank.decode_row(observed)
+            bad = [slot for slot, cw in enumerate(slots) if cw is None]
+            repaired = self._assemble_row(slots, observed)
+            self.content[row] = repaired
+            if bad:
+                self.faulty_slots[row] = bad
+            elif not np.array_equal(repaired, observed):
+                self._note_error_columns(repaired, observed)
+                bank.write_physical_row(row, repaired)
+                self.accesses += 1
+                self.scrubbed.add(row)
+
+    def reconstruct_rows(self) -> bool:
+        """Phase 2: rebuild rows in groups containing one faulty row."""
+        bank = self.bank
+        progress = False
+        for group in range(bank.vertical_groups):
+            group_rows = list(bank.rows_in_group(group))
+            bad_rows = [r for r in group_rows if r in self.faulty_slots]
+            if len(bad_rows) != 1:
+                continue
+            target = bad_rows[0]
+            reconstruction = bank.read_parity_row(group).copy()
+            self.accesses += 1
+            for row in group_rows:
+                if row != target:
+                    reconstruction ^= self.content[row]
+                    self.accesses += 1
+            slots = bank.decode_row(reconstruction)
+            if any(cw is None for cw in slots):
+                # The group's other rows were not as clean as assumed;
+                # leave the row for the column-guided phase.
+                continue
+            final = self._assemble_row(slots, reconstruction)
+            self._note_error_columns(final, self.content[target])
+            bank.write_physical_row(target, final)
+            self.accesses += 1
+            self.content[target] = final
+            self.reconstructed[target] = final
+            del self.faulty_slots[target]
+            progress = True
+        return progress
+
+    def _note_error_columns(self, corrected: np.ndarray, observed: np.ndarray) -> None:
+        """Record which physical columns held the errors just repaired."""
+        for column in np.nonzero(corrected ^ observed)[0]:
+            key = int(column)
+            self.observed_error_columns[key] = self.observed_error_columns.get(key, 0) + 1
+
+    def reconstruct_trusted_columns(self) -> bool:
+        """Phase 2.5: per-column reconstruction in multi-faulty-row groups.
+
+        When a vertical parity group holds several faulty rows, full row
+        reconstruction is not possible, but individual columns can still be
+        rebuilt for a faulty row as long as *no other* faulty row of the
+        group can (according to its horizontal syndrome) hold an error in
+        that column.  This repairs, for example, a small cluster and an
+        unrelated single-bit upset that happen to land in the same parity
+        group, without risking miscorrection.
+        """
+        bank = self.bank
+        progress = False
+        candidate_sets: dict[int, set[int]] = {}
+        for row, slots in self.faulty_slots.items():
+            columns: set[int] = set()
+            for slot in slots:
+                columns.update(self._slot_candidates(self.content[row], slot))
+            candidate_sets[row] = columns
+
+        for group in range(bank.vertical_groups):
+            group_rows = list(bank.rows_in_group(group))
+            bad_rows = [r for r in group_rows if r in self.faulty_slots]
+            if len(bad_rows) < 2:
+                continue
+            parity = bank.read_parity_row(group).copy()
+            self.accesses += 1
+            for row in bad_rows:
+                others = [r for r in bad_rows if r != row]
+                trusted = [
+                    c
+                    for c in candidate_sets[row]
+                    if all(c not in candidate_sets[o] for o in others)
+                ]
+                if not trusted:
+                    continue
+                reconstruction = parity.copy()
+                for other in group_rows:
+                    if other != row:
+                        reconstruction ^= self.content[other]
+                working = self.content[row].copy()
+                if all(working[c] == reconstruction[c] for c in trusted):
+                    continue
+                for c in trusted:
+                    working[c] = reconstruction[c]
+                slots = bank.decode_row(working)
+                still_bad = [s for s, cw in enumerate(slots) if cw is None]
+                if set(still_bad) == set(self.faulty_slots[row]):
+                    continue
+                final = self._assemble_row(slots, working)
+                bank.write_physical_row(row, final)
+                self.accesses += 1
+                self.content[row] = final
+                progress = True
+                if still_bad:
+                    self.faulty_slots[row] = still_bad
+                else:
+                    self.reconstructed[row] = final
+                    del self.faulty_slots[row]
+        return progress
+
+    def column_guided_correction(self) -> bool:
+        """Phase 3: repair remaining rows using suspect-column information."""
+        if not self.faulty_slots:
+            return False
+        bank = self.bank
+        suspects = self._vertical_suspect_columns()
+        votes = self._candidate_votes()
+        progress = False
+
+        for row in sorted(self.faulty_slots):
+            before = list(self.faulty_slots[row])
+            working = self.content[row].copy()
+            for slot in before:
+                self._repair_slot(working, slot, suspects, votes)
+            slots = bank.decode_row(working)
+            still_bad = [s for s, cw in enumerate(slots) if cw is None]
+            if set(still_bad) == set(before):
+                continue  # nothing improved for this row
+            final = self._assemble_row(slots, working)
+            bank.write_physical_row(row, final)
+            self.accesses += 1
+            self.content[row] = final
+            progress = True
+            if still_bad:
+                self.faulty_slots[row] = still_bad
+            else:
+                self.reconstructed[row] = final
+                del self.faulty_slots[row]
+        return progress
+
+    # ------------------------------------------------------------------
+    def _vertical_suspect_columns(self) -> dict[int, int]:
+        """Columns with a non-zero vertical syndrome, with a strength count.
+
+        The syndrome of group ``g`` is the XOR of the group's parity row
+        with the current content of all its data rows, i.e. the XOR of the
+        error patterns of the group's still-faulty rows.  A column flagged
+        by more groups is a stronger column-failure suspect.
+        """
+        bank = self.bank
+        strength: dict[int, int] = {}
+        for group in range(bank.vertical_groups):
+            syndrome = bank.read_parity_row(group).copy()
+            self.accesses += 1
+            for row in bank.rows_in_group(group):
+                syndrome ^= self.content[row]
+            for column in np.nonzero(syndrome)[0]:
+                strength[int(column)] = strength.get(int(column), 0) + 1
+        # Columns whose errors were already repaired elsewhere in the bank
+        # (scrub or row reconstruction) are strong column-failure suspects
+        # even when the remaining groups' syndromes cancel out.
+        for column, count in self.observed_error_columns.items():
+            if count >= 2:
+                strength[column] = strength.get(column, 0) + count
+        return strength
+
+    def _candidate_votes(self) -> dict[int, int]:
+        """How many faulty rows consider each physical column a candidate."""
+        votes: dict[int, int] = {}
+        for row, slots in self.faulty_slots.items():
+            for slot in slots:
+                for column in self._slot_candidates(self.content[row], slot):
+                    votes[column] = votes.get(column, 0) + 1
+        return votes
+
+    def _slot_candidates(self, row_bits: np.ndarray, slot: int) -> tuple[int, ...]:
+        """Physical columns of the slot consistent with its horizontal syndrome."""
+        layout = self.layout
+        columns = layout.codeword_columns(slot)
+        codeword = row_bits[columns]
+        data, check = layout.split_codeword(codeword)
+        positions = self.bank.horizontal_code.error_candidates(data, check)
+        if positions is None:
+            positions = tuple(range(layout.codeword_bits))
+        return tuple(int(columns[p]) for p in positions)
+
+    def _repair_slot(
+        self,
+        row_bits: np.ndarray,
+        slot: int,
+        suspects: dict[int, int],
+        votes: dict[int, int],
+    ) -> bool:
+        """Attempt to repair one word slot in-place.  Returns True on success."""
+        bank = self.bank
+        layout = self.layout
+        columns = layout.codeword_columns(slot)
+        slot_candidates = self._slot_candidates(row_bits, slot)
+
+        # Primary candidates: columns the vertical syndromes point at.
+        primary = [c for c in slot_candidates if c in suspects]
+        primary.sort(key=lambda c: -suspects[c])
+        if len(primary) > 1:
+            # Several equally plausible columns inside one parity group risk
+            # a silent miscorrection; only keep columns flagged by multiple
+            # vertical groups (the column-failure signature) in that case.
+            strong = [c for c in primary if suspects[c] >= 2]
+            primary = strong
+        candidates = primary
+        if not candidates:
+            # Column-failure signature: a column voted by (essentially) all
+            # faulty rows.  Use it only when it is unambiguous, otherwise we
+            # would risk miscorrection within a parity group.
+            n_faulty = max(len(self.faulty_slots), 1)
+            heavy = [
+                c
+                for c in slot_candidates
+                if votes.get(c, 0) >= max(2, int(0.75 * n_faulty))
+            ]
+            if len(heavy) == 1:
+                candidates = heavy
+        if not candidates or len(candidates) > _MAX_CANDIDATES_PER_SLOT:
+            return False
+
+        for size in range(1, len(candidates) + 1):
+            for subset in itertools.combinations(candidates, size):
+                trial = row_bits.copy()
+                for column in subset:
+                    trial[column] ^= 1
+                decoded = bank.decode_row(trial)[slot]
+                if decoded is not None:
+                    # ``decoded`` includes the trial flips plus any further
+                    # horizontal correction — install it wholesale.
+                    row_bits[columns] = decoded
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _assemble_row(
+        self, slots: list["np.ndarray | None"], fallback: np.ndarray
+    ) -> np.ndarray:
+        """Rebuild full row bits from per-slot codewords, keeping fallback
+        bits for slots that could not be decoded."""
+        row = fallback.copy()
+        for slot, codeword in enumerate(slots):
+            if codeword is not None:
+                row[self.layout.codeword_columns(slot)] = codeword
+        return row
+
+
+def run_recovery(bank: RecoverableBank) -> RecoveryReport:
+    """Execute the full 2D recovery process on one protected bank."""
+    session = _RecoverySession(bank)
+    iterations = 0
+    for iterations in range(1, _MAX_ITERATIONS + 1):
+        session.scrub()
+        if not session.faulty_slots:
+            break
+        progress = session.reconstruct_rows()
+        if not session.faulty_slots:
+            break
+        progress |= session.reconstruct_trusted_columns()
+        if not session.faulty_slots:
+            break
+        progress |= session.column_guided_correction()
+        if not progress:
+            break
+
+    return RecoveryReport(
+        reconstructed_rows=dict(session.reconstructed),
+        scrubbed_rows=tuple(sorted(session.scrubbed)),
+        unrecovered_rows=tuple(sorted(session.faulty_slots)),
+        estimated_cycles=session.accesses,
+        iterations=iterations,
+    )

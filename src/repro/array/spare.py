@@ -1,0 +1,92 @@
+"""Spare-row redundancy: the conventional hard-error repair mechanism.
+
+Current memories ship redundant rows (and columns/sub-arrays); during
+manufacturing test, addresses of faulty rows are remapped to spares
+(Section 2.3 of the paper).  The model here captures the essentials the
+yield analysis needs:
+
+* a fixed budget of spare rows per bank,
+* allocation of a spare to a faulty data row (an entire spare is consumed
+  even when only one cell is bad — the inefficiency the paper points out),
+* the "out of spares" condition that makes the die faulty.
+
+The spare allocator is used directly in examples and, in aggregate
+(expected values rather than per-cell simulation), by
+:mod:`repro.reliability.yield_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SpareRowRepair", "RepairOutcome"]
+
+
+@dataclass(frozen=True)
+class RepairOutcome:
+    """Result of attempting to repair one faulty row."""
+
+    row: int
+    repaired: bool
+    spare_used: int | None
+
+
+class SpareRowRepair:
+    """Allocates spare rows to faulty data rows, one spare per row."""
+
+    def __init__(self, n_spares: int):
+        if n_spares < 0:
+            raise ValueError("spare count must be non-negative")
+        self._n_spares = n_spares
+        self._remap: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_spares(self) -> int:
+        """Total spare rows provisioned."""
+        return self._n_spares
+
+    @property
+    def spares_used(self) -> int:
+        return len(self._remap)
+
+    @property
+    def spares_remaining(self) -> int:
+        return self._n_spares - len(self._remap)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every spare row has been consumed."""
+        return self.spares_remaining == 0
+
+    # ------------------------------------------------------------------
+    def is_remapped(self, row: int) -> bool:
+        return row in self._remap
+
+    def spare_for(self, row: int) -> int | None:
+        """Spare index serving a data row, or None when not remapped."""
+        return self._remap.get(row)
+
+    def repair(self, row: int) -> RepairOutcome:
+        """Attempt to remap a faulty row onto the next free spare.
+
+        Repairing an already-remapped row is idempotent and consumes no
+        additional spare.
+        """
+        if row < 0:
+            raise ValueError("row must be non-negative")
+        if row in self._remap:
+            return RepairOutcome(row=row, repaired=True, spare_used=self._remap[row])
+        if self.exhausted:
+            return RepairOutcome(row=row, repaired=False, spare_used=None)
+        spare = len(self._remap)
+        self._remap[row] = spare
+        return RepairOutcome(row=row, repaired=True, spare_used=spare)
+
+    def repair_all(self, rows: "list[int] | tuple[int, ...]") -> list[RepairOutcome]:
+        """Repair a batch of faulty rows, in order, until spares run out."""
+        return [self.repair(row) for row in rows]
+
+    def remapped_rows(self) -> tuple[int, ...]:
+        """All data rows currently served by a spare."""
+        return tuple(sorted(self._remap))

@@ -1,0 +1,167 @@
+"""Bit-accurate SRAM array model.
+
+An :class:`SramArray` is a rectangular grid of cells storing 0/1 values.
+It distinguishes the *stored* value (what the last write put in the cell)
+from the *observed* value (what a read returns), which differ when the
+cell is permanently faulty.  Soft errors directly flip stored values;
+hard errors register the cell in a :class:`~repro.errors.maps.FaultMap`
+that corrupts subsequent reads.
+
+The array also counts row activations for the energy accounting used by
+the VLSI models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.maps import FaultBehavior, FaultMap
+
+__all__ = ["SramArray", "ArrayAccessCounters"]
+
+
+@dataclass
+class ArrayAccessCounters:
+    """Counts of physical array operations (for energy accounting)."""
+
+    row_reads: int = 0
+    row_writes: int = 0
+    cell_flips_injected: int = 0
+
+    def reset(self) -> None:
+        self.row_reads = 0
+        self.row_writes = 0
+        self.cell_flips_injected = 0
+
+
+class SramArray:
+    """A ``rows`` x ``columns`` array of SRAM cells.
+
+    Parameters
+    ----------
+    rows, columns:
+        Physical dimensions in cells.
+    name:
+        Optional label used in diagnostics.
+    """
+
+    def __init__(self, rows: int, columns: int, name: str = "sram"):
+        if rows < 1 or columns < 1:
+            raise ValueError("array dimensions must be positive")
+        self._rows = rows
+        self._columns = columns
+        self.name = name
+        self._cells = np.zeros((rows, columns), dtype=np.uint8)
+        self._faults = FaultMap(rows, columns)
+        self.counters = ArrayAccessCounters()
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def columns(self) -> int:
+        return self._columns
+
+    @property
+    def capacity_bits(self) -> int:
+        return self._rows * self._columns
+
+    @property
+    def fault_map(self) -> FaultMap:
+        return self._faults
+
+    # ------------------------------------------------------------------
+    # row-granularity access (what the memory actually does)
+    # ------------------------------------------------------------------
+    def read_row(self, row: int) -> np.ndarray:
+        """Read a physical row, applying any permanent faults."""
+        self._check_row(row)
+        self.counters.row_reads += 1
+        stored = self._cells[row]
+        if self._faults.faults_in_row(row):
+            return self._faults.corrupt_row(row, stored)
+        return stored.copy()
+
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        """Write a full physical row."""
+        self._check_row(row)
+        bits = self._coerce_bits(bits, self._columns)
+        self.counters.row_writes += 1
+        self._cells[row] = bits
+
+    def read_bits(self, row: int, columns: "slice | np.ndarray | list[int]") -> np.ndarray:
+        """Read a subset of columns from a row (a word access)."""
+        return self.read_row(row)[columns]
+
+    def write_bits(
+        self, row: int, columns: "slice | np.ndarray | list[int]", bits: np.ndarray
+    ) -> None:
+        """Write a subset of columns within a row (a word write).
+
+        Physically this is a row access with column select, so it counts as
+        one row write.
+        """
+        self._check_row(row)
+        self.counters.row_writes += 1
+        self._cells[row, columns] = np.asarray(bits, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # error-injection protocol (see repro.errors.injector.InjectionTarget)
+    # ------------------------------------------------------------------
+    def flip_cell(self, row: int, column: int) -> None:
+        """Flip a stored bit in place (a soft error)."""
+        self._check_cell(row, column)
+        self._cells[row, column] ^= 1
+        self.counters.cell_flips_injected += 1
+
+    def mark_faulty(
+        self, row: int, column: int, behavior: FaultBehavior = FaultBehavior.INVERT
+    ) -> None:
+        """Mark a cell permanently faulty (a hard error)."""
+        self._check_cell(row, column)
+        self._faults.add(row, column, behavior)
+
+    # ------------------------------------------------------------------
+    # test/diagnostic helpers
+    # ------------------------------------------------------------------
+    def snapshot(self) -> np.ndarray:
+        """Copy of the *stored* cell contents (ignores hard-fault corruption)."""
+        return self._cells.copy()
+
+    def load(self, contents: np.ndarray) -> None:
+        """Bulk-load array contents (initialization helper)."""
+        contents = np.asarray(contents, dtype=np.uint8)
+        if contents.shape != (self._rows, self._columns):
+            raise ValueError(
+                f"contents shape {contents.shape} does not match array "
+                f"({self._rows}, {self._columns})"
+            )
+        if contents.size and contents.max() > 1:
+            raise ValueError("array contents must be 0/1")
+        self._cells = contents.copy()
+
+    # ------------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._rows:
+            raise ValueError(f"row {row} out of range [0, {self._rows})")
+
+    def _check_cell(self, row: int, column: int) -> None:
+        self._check_row(row)
+        if not 0 <= column < self._columns:
+            raise ValueError(f"column {column} out of range [0, {self._columns})")
+
+    @staticmethod
+    def _coerce_bits(bits: np.ndarray, width: int) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (width,):
+            raise ValueError(f"expected {width} bits, got shape {arr.shape}")
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SramArray(name={self.name!r}, rows={self._rows}, columns={self._columns})"

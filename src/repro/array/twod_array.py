@@ -1,0 +1,361 @@
+"""The 2D-protected SRAM bank: horizontal per-word code + vertical parity.
+
+This is the paper's core mechanism (Sections 3 and 4) made concrete:
+
+* Every logical word is stored as a codeword (data + horizontal check
+  bits), with ``D``-way physical bit interleaving inside each row.
+* ``V`` vertical parity rows are kept in a small side array; data row
+  ``r`` participates in parity row ``r mod V`` ("V-way vertical
+  interleaving").  The parity covers the *entire* row, data and check
+  bits alike.
+* Every write is converted to a **read-before-write**: the old codeword
+  is read, XORed with the new codeword, and the difference is folded into
+  the word's columns of the corresponding vertical parity row
+  (Fig. 4(a)).
+* On a read, the horizontal code checks the word.  Clean and
+  horizontally-correctable words are returned immediately (the fast
+  common case).  A detected-uncorrectable word triggers the 2D recovery
+  process of Fig. 4(b), implemented in :mod:`repro.array.recovery`.
+
+The class tracks the operation counts (extra reads, recoveries, corrected
+events) that the cache-level and VLSI-level evaluations consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coding.base import CodeStatus, WordCode
+from repro.errors.maps import FaultBehavior
+
+from .layout import BankLayout
+from .recovery import RecoveryReport, run_recovery
+from .sram import SramArray
+
+__all__ = ["TwoDProtectedArray", "ReadStatus", "ReadOutcome", "ProtectionStats"]
+
+
+class ReadStatus(enum.Enum):
+    """Outcome of a protected read."""
+
+    #: Word read without any detected error.
+    CLEAN = "clean"
+    #: Horizontal code corrected the word in-line (e.g. SECDED single-bit).
+    CORRECTED_HORIZONTAL = "corrected_horizontal"
+    #: The word needed the 2D recovery process and was reconstructed.
+    CORRECTED_2D = "corrected_2d"
+    #: The error exceeded the 2D scheme's coverage; data is lost.
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclass
+class ReadOutcome:
+    """Data returned by a protected read plus how it was obtained."""
+
+    data: np.ndarray
+    status: ReadStatus
+    recovery: RecoveryReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not ReadStatus.UNCORRECTABLE
+
+
+@dataclass
+class ProtectionStats:
+    """Operation counters for one protected bank."""
+
+    reads: int = 0
+    writes: int = 0
+    #: Extra array reads issued solely to update the vertical parity.
+    read_before_writes: int = 0
+    horizontal_corrections: int = 0
+    recoveries: int = 0
+    recovered_rows: int = 0
+    uncorrectable_reads: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class TwoDProtectedArray:
+    """One SRAM bank protected by 2D error coding.
+
+    Parameters
+    ----------
+    layout:
+        Word/row geometry including the interleave degree.
+    horizontal_code:
+        The per-word code; its data/check widths must match the layout.
+    vertical_groups:
+        ``V`` — number of vertical parity rows (the paper uses EDC32,
+        i.e. 32).  Must not exceed the number of data rows.
+    """
+
+    def __init__(
+        self,
+        layout: BankLayout,
+        horizontal_code: WordCode,
+        vertical_groups: int = 32,
+        name: str = "bank",
+    ):
+        if horizontal_code.data_bits != layout.data_bits:
+            raise ValueError(
+                "horizontal code data width does not match the layout "
+                f"({horizontal_code.data_bits} != {layout.data_bits})"
+            )
+        if horizontal_code.check_bits != layout.check_bits:
+            raise ValueError(
+                "horizontal code check width does not match the layout "
+                f"({horizontal_code.check_bits} != {layout.check_bits})"
+            )
+        if vertical_groups < 1:
+            raise ValueError("vertical_groups must be positive")
+        if vertical_groups > layout.rows:
+            raise ValueError(
+                f"vertical_groups ({vertical_groups}) cannot exceed the "
+                f"number of data rows ({layout.rows})"
+            )
+        self._layout = layout
+        self._hcode = horizontal_code
+        self._vgroups = vertical_groups
+        self.name = name
+        self._data = SramArray(layout.rows, layout.row_bits, name=f"{name}.data")
+        self._parity = SramArray(vertical_groups, layout.row_bits, name=f"{name}.vparity")
+        self.stats = ProtectionStats()
+
+    # ------------------------------------------------------------------
+    # geometry / introspection
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> BankLayout:
+        return self._layout
+
+    @property
+    def horizontal_code(self) -> WordCode:
+        return self._hcode
+
+    @property
+    def vertical_groups(self) -> int:
+        """Number of vertical parity rows (V in EDC-V)."""
+        return self._vgroups
+
+    @property
+    def rows(self) -> int:
+        """Physical data rows (exposes the injection-target protocol)."""
+        return self._layout.rows
+
+    @property
+    def columns(self) -> int:
+        """Physical columns per data row (injection-target protocol)."""
+        return self._layout.row_bits
+
+    @property
+    def data_array(self) -> SramArray:
+        """The underlying data array (exposed for tests and diagnostics)."""
+        return self._data
+
+    @property
+    def parity_array(self) -> SramArray:
+        """The vertical parity row array."""
+        return self._parity
+
+    def parity_group(self, row: int) -> int:
+        """Vertical parity group a data row belongs to."""
+        if not 0 <= row < self._layout.rows:
+            raise ValueError(f"row {row} out of range")
+        return row % self._vgroups
+
+    def rows_in_group(self, group: int) -> range:
+        """All data rows that share vertical parity row ``group``."""
+        if not 0 <= group < self._vgroups:
+            raise ValueError(f"group {group} out of range")
+        return range(group, self._layout.rows, self._vgroups)
+
+    # ------------------------------------------------------------------
+    # word access
+    # ------------------------------------------------------------------
+    def write_word(self, word_index: int, data: np.ndarray) -> None:
+        """Write a data word using the read-before-write protocol."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self._layout.data_bits:
+            raise ValueError(
+                f"expected {self._layout.data_bits} data bits, got {data.size}"
+            )
+        row, slot = self._layout.word_location(word_index)
+        columns = self._layout.codeword_columns(slot)
+
+        # Step 1 (Fig. 4(a)): read the old codeword to compute the parity
+        # delta.  If the old word carries an error the horizontal code can
+        # repair, use the repaired value so the parity invariant is kept;
+        # if it carries an uncorrectable error, run recovery first.
+        old_codeword = self._data.read_bits(row, columns)
+        self.stats.read_before_writes += 1
+        old_codeword = self._resolve_old_codeword(word_index, old_codeword)
+
+        new_check = self._hcode.encode(data)
+        new_codeword = self._layout.join_codeword(data, new_check)
+
+        # Vertical parity update: fold the XOR difference into the parity
+        # row, only on this word's columns.
+        group = self.parity_group(row)
+        parity_row = self._parity.read_row(group)
+        parity_row[columns] ^= old_codeword ^ new_codeword
+        self._parity.write_row(group, parity_row)
+
+        # Step 2: write the new codeword.
+        self._data.write_bits(row, columns, new_codeword)
+        self.stats.writes += 1
+
+    def read_word(self, word_index: int, allow_recovery: bool = True) -> ReadOutcome:
+        """Read a data word, correcting errors as needed."""
+        row, slot = self._layout.word_location(word_index)
+        columns = self._layout.codeword_columns(slot)
+        codeword = self._data.read_bits(row, columns)
+        self.stats.reads += 1
+
+        data, check = self._layout.split_codeword(codeword)
+        result = self._hcode.decode(data, check)
+        if result.status is CodeStatus.CLEAN:
+            return ReadOutcome(data=result.data, status=ReadStatus.CLEAN)
+        if result.status is CodeStatus.CORRECTED:
+            self.stats.horizontal_corrections += 1
+            return ReadOutcome(data=result.data, status=ReadStatus.CORRECTED_HORIZONTAL)
+
+        if not allow_recovery:
+            self.stats.uncorrectable_reads += 1
+            return ReadOutcome(data=data, status=ReadStatus.UNCORRECTABLE)
+
+        report = self.recover()
+        # Re-read after recovery.
+        codeword = self._data.read_bits(row, columns)
+        data, check = self._layout.split_codeword(codeword)
+        result = self._hcode.decode(data, check)
+        if result.status in (CodeStatus.CLEAN, CodeStatus.CORRECTED):
+            return ReadOutcome(
+                data=result.data, status=ReadStatus.CORRECTED_2D, recovery=report
+            )
+        # The row may contain permanently stuck cells that a rewrite cannot
+        # repair; the recovery report still carries the reconstructed
+        # content, which is the logically correct value.
+        reconstructed = report.reconstructed_rows.get(row)
+        if reconstructed is not None:
+            recon_word = reconstructed[columns]
+            recon_data, recon_check = self._layout.split_codeword(recon_word)
+            recon_result = self._hcode.decode(recon_data, recon_check)
+            if recon_result.status in (CodeStatus.CLEAN, CodeStatus.CORRECTED):
+                return ReadOutcome(
+                    data=recon_result.data,
+                    status=ReadStatus.CORRECTED_2D,
+                    recovery=report,
+                )
+        self.stats.uncorrectable_reads += 1
+        return ReadOutcome(data=data, status=ReadStatus.UNCORRECTABLE, recovery=report)
+
+    # ------------------------------------------------------------------
+    # recovery (Fig. 4(b))
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Run the BIST/BISR-style 2D recovery process over the whole bank."""
+        self.stats.recoveries += 1
+        report = run_recovery(self)
+        self.stats.recovered_rows += len(report.reconstructed_rows)
+        return report
+
+    # ------------------------------------------------------------------
+    # error-injection protocol (InjectionTarget)
+    # ------------------------------------------------------------------
+    def flip_cell(self, row: int, column: int) -> None:
+        """Flip a stored data-array bit (soft error)."""
+        self._data.flip_cell(row, column)
+
+    def mark_faulty(
+        self, row: int, column: int, behavior: FaultBehavior = FaultBehavior.INVERT
+    ) -> None:
+        """Mark a data-array cell permanently faulty (hard error)."""
+        self._data.mark_faulty(row, column, behavior)
+
+    # ------------------------------------------------------------------
+    # helpers used by the recovery module
+    # ------------------------------------------------------------------
+    def read_physical_row(self, row: int) -> np.ndarray:
+        """Observed contents of a full data row (fault corruption applied)."""
+        return self._data.read_row(row)
+
+    def write_physical_row(self, row: int, bits: np.ndarray) -> None:
+        """Rewrite a full data row (used by recovery to scrub soft errors)."""
+        self._data.write_row(row, bits)
+
+    def read_parity_row(self, group: int) -> np.ndarray:
+        """Observed contents of one vertical parity row."""
+        return self._parity.read_row(group)
+
+    def decode_row(self, row_bits: np.ndarray) -> list["np.ndarray | None"]:
+        """Decode every word slot of a row; None for uncorrectable slots.
+
+        Returns, per slot, the *codeword* with any horizontal correction
+        applied, or None when the slot's word is detectably corrupt beyond
+        the horizontal code's correction ability.
+        """
+        results: list[np.ndarray | None] = []
+        for slot in range(self._layout.interleave_degree):
+            columns = self._layout.codeword_columns(slot)
+            codeword = row_bits[columns]
+            data, check = self._layout.split_codeword(codeword)
+            decoded = self._hcode.decode(data, check)
+            if decoded.status is CodeStatus.CLEAN:
+                results.append(codeword.copy())
+            elif decoded.status is CodeStatus.CORRECTED:
+                repaired = codeword.copy()
+                repaired[: self._layout.data_bits] = decoded.data
+                # Repair corrected check bits as well.
+                for check_bit in decoded.corrected_check_bits:
+                    repaired[self._layout.data_bits + check_bit] ^= 1
+                results.append(repaired)
+            else:
+                results.append(None)
+        return results
+
+    # ------------------------------------------------------------------
+    def _resolve_old_codeword(
+        self, word_index: int, old_codeword: np.ndarray
+    ) -> np.ndarray:
+        """Old codeword value to use for the parity update.
+
+        Uses the horizontally corrected value when possible so that a
+        latent single-bit error does not poison the vertical parity; falls
+        back to 2D recovery for uncorrectable old values.
+        """
+        data, check = self._layout.split_codeword(old_codeword)
+        decoded = self._hcode.decode(data, check)
+        if decoded.status is CodeStatus.CLEAN:
+            return old_codeword
+        if decoded.status is CodeStatus.CORRECTED:
+            self.stats.horizontal_corrections += 1
+            repaired = old_codeword.copy()
+            repaired[: self._layout.data_bits] = decoded.data
+            for check_bit in decoded.corrected_check_bits:
+                repaired[self._layout.data_bits + check_bit] ^= 1
+            return repaired
+        # Uncorrectable old word: recover the bank, then re-read.
+        row, slot = self._layout.word_location(word_index)
+        report = self.recover()
+        columns = self._layout.codeword_columns(slot)
+        refreshed = self._data.read_bits(row, columns)
+        data, check = self._layout.split_codeword(refreshed)
+        if self._hcode.decode(data, check).status is not CodeStatus.DETECTED_UNCORRECTABLE:
+            return refreshed
+        reconstructed = report.reconstructed_rows.get(row)
+        if reconstructed is not None:
+            return reconstructed[columns]
+        return refreshed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TwoDProtectedArray(name={self.name!r}, words={self._layout.n_words}, "
+            f"hcode={self._hcode.name}, V={self._vgroups})"
+        )

@@ -1,0 +1,29 @@
+"""Cache substrate: functional set-associative caches, the 2D-protected
+cache controller, and a small two-level hierarchy."""
+
+from .block import BlockState, CacheBlock, CacheSet
+from .cache import (
+    AccessResult,
+    CacheConfig,
+    CacheStats,
+    SetAssociativeCache,
+    WritePolicy,
+)
+from .controller import LineReadResult, ProtectedCacheController
+from .hierarchy import CacheHierarchy, HierarchyStats, MainMemory
+
+__all__ = [
+    "BlockState",
+    "CacheBlock",
+    "CacheSet",
+    "AccessResult",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "WritePolicy",
+    "LineReadResult",
+    "ProtectedCacheController",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "MainMemory",
+]

@@ -1,0 +1,95 @@
+"""Cache blocks and sets: the bookkeeping units of a set-associative cache."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BlockState", "CacheBlock", "CacheSet"]
+
+
+class BlockState(enum.Enum):
+    """Coherence/validity state of a cache block (simplified MESI-style)."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+    MODIFIED = "modified"
+
+    @property
+    def valid(self) -> bool:
+        return self is not BlockState.INVALID
+
+    @property
+    def dirty(self) -> bool:
+        return self is BlockState.MODIFIED
+
+
+@dataclass
+class CacheBlock:
+    """One cache block (line): tag, state, LRU stamp and optional data."""
+
+    tag: int = 0
+    state: BlockState = BlockState.INVALID
+    lru_stamp: int = 0
+    data: np.ndarray | None = None
+
+    @property
+    def valid(self) -> bool:
+        return self.state.valid
+
+    @property
+    def dirty(self) -> bool:
+        return self.state.dirty
+
+    def invalidate(self) -> None:
+        self.state = BlockState.INVALID
+        self.data = None
+
+
+class CacheSet:
+    """One set of a set-associative cache with true-LRU replacement."""
+
+    def __init__(self, associativity: int):
+        if associativity < 1:
+            raise ValueError("associativity must be positive")
+        self._ways = [CacheBlock() for _ in range(associativity)]
+
+    # ------------------------------------------------------------------
+    @property
+    def associativity(self) -> int:
+        return len(self._ways)
+
+    @property
+    def ways(self) -> list[CacheBlock]:
+        return self._ways
+
+    def __iter__(self):
+        return iter(self._ways)
+
+    # ------------------------------------------------------------------
+    def find(self, tag: int) -> tuple[int, CacheBlock] | None:
+        """Return ``(way_index, block)`` for a hit, or None on a miss."""
+        for index, block in enumerate(self._ways):
+            if block.valid and block.tag == tag:
+                return index, block
+        return None
+
+    def victim_way(self) -> int:
+        """Way to evict: an invalid way if present, else the LRU way."""
+        for index, block in enumerate(self._ways):
+            if not block.valid:
+                return index
+        lru_index = 0
+        lru_stamp = self._ways[0].lru_stamp
+        for index, block in enumerate(self._ways[1:], start=1):
+            if block.lru_stamp < lru_stamp:
+                lru_index = index
+                lru_stamp = block.lru_stamp
+        return lru_index
+
+    def touch(self, way: int, stamp: int) -> None:
+        """Update the LRU stamp of a way after an access."""
+        self._ways[way].lru_stamp = stamp

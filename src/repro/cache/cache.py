@@ -1,0 +1,304 @@
+"""Functional set-associative cache model.
+
+This is the behavioural cache substrate: addresses, tags, sets, LRU
+replacement, write-back or write-through policies, and hit/miss/eviction
+statistics.  It stores actual block data (as byte arrays) so it can be
+backed by 2D-protected SRAM banks in
+:mod:`repro.cache.controller` and exercised end-to-end with error
+injection.
+
+Timing/contention (ports, banks, MSHRs) is handled separately by the CMP
+performance model in :mod:`repro.cmp`; this class is purely functional.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .block import BlockState, CacheBlock, CacheSet
+
+__all__ = ["WritePolicy", "CacheConfig", "AccessResult", "SetAssociativeCache", "CacheStats"]
+
+
+class WritePolicy(enum.Enum):
+    """Cache write policy."""
+
+    WRITE_BACK = "write_back"
+    WRITE_THROUGH = "write_through"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    Sizes are in bytes.  The paper's configurations (Table 1) are provided
+    as constructors in :mod:`repro.cmp.config`.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    n_banks: int = 1
+    n_ports: int = 1
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry parameters must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError("cache size must divide evenly into sets")
+        if self.n_banks < 1 or self.n_ports < 1:
+            raise ValueError("banks and ports must be positive")
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be at least one cycle")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        return self.n_sets * self.associativity
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.n_sets
+
+    def tag(self, address: int) -> int:
+        return address // (self.line_bytes * self.n_sets)
+
+    def block_address(self, address: int) -> int:
+        return (address // self.line_bytes) * self.line_bytes
+
+    def bank_index(self, address: int) -> int:
+        """Bank an address maps to (line-interleaved banking)."""
+        return (address // self.line_bytes) % self.n_banks
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and traffic counters for one cache."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    write_throughs: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: Block address of any valid line evicted by this access (dirty or not).
+    victim_address: int | None = None
+    #: Dirty line written back to the next level because of this access.
+    writeback_address: int | None = None
+    #: Line fetched from the next level because of this access.
+    fill_address: int | None = None
+    #: Data returned (reads) or None.
+    data: np.ndarray | None = None
+    #: Payload of the dirty line named by ``writeback_address``; filled in
+    #: by controllers that own the authoritative (protected) copy.
+    evicted_data: np.ndarray | None = None
+
+
+class SetAssociativeCache:
+    """A functional set-associative cache with LRU replacement.
+
+    Parameters
+    ----------
+    config:
+        Cache geometry and policy.
+    store_data:
+        When True, block data (numpy byte arrays of ``line_bytes``) is kept
+        and returned; when False the cache tracks only tags/state, which is
+        enough for trace-driven studies and much faster.
+    """
+
+    def __init__(self, config: CacheConfig, store_data: bool = False):
+        self._config = config
+        self._store_data = store_data
+        self._sets = [CacheSet(config.associativity) for _ in range(config.n_sets)]
+        self._stamp = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def store_data(self) -> bool:
+        return self._store_data
+
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> CacheBlock | None:
+        """Probe the cache without updating LRU or statistics."""
+        cache_set = self._sets[self._config.set_index(address)]
+        found = cache_set.find(self._config.tag(address))
+        return found[1] if found else None
+
+    def contains(self, address: int) -> bool:
+        return self.lookup(address) is not None
+
+    # ------------------------------------------------------------------
+    def read(self, address: int) -> AccessResult:
+        """Read access (load or instruction fetch)."""
+        return self._access(address, is_write=False, data=None)
+
+    def write(self, address: int, data: np.ndarray | None = None) -> AccessResult:
+        """Write access (store or write-back arriving from an upper level)."""
+        return self._access(address, is_write=True, data=data)
+
+    def fill(self, address: int, data: np.ndarray | None = None, dirty: bool = False) -> AccessResult:
+        """Install a line fetched from the next level (miss fill)."""
+        set_index = self._config.set_index(address)
+        cache_set = self._sets[set_index]
+        tag = self._config.tag(address)
+        self._stamp += 1
+
+        found = cache_set.find(tag)
+        if found is not None:
+            way, block = found
+        else:
+            way = cache_set.victim_way()
+            block = cache_set.ways[way]
+        victim, writeback = self._evict_if_needed(set_index, block)
+        block.tag = tag
+        block.state = BlockState.MODIFIED if dirty else BlockState.EXCLUSIVE
+        block.data = self._coerce_data(data)
+        cache_set.touch(way, self._stamp)
+        self.stats.fills += 1
+        return AccessResult(
+            hit=False,
+            victim_address=victim,
+            writeback_address=writeback,
+            fill_address=self._config.block_address(address),
+        )
+
+    def invalidate(self, address: int) -> bool:
+        """Invalidate a line if present; returns True when a line was dropped."""
+        cache_set = self._sets[self._config.set_index(address)]
+        found = cache_set.find(self._config.tag(address))
+        if found is None:
+            return False
+        found[1].invalidate()
+        self.stats.invalidations += 1
+        return True
+
+    def dirty_lines(self) -> list[int]:
+        """Block addresses of all dirty lines (diagnostics / drain)."""
+        dirty = []
+        for set_index, cache_set in enumerate(self._sets):
+            for block in cache_set:
+                if block.valid and block.dirty:
+                    dirty.append(self._block_address(set_index, block.tag))
+        return dirty
+
+    # ------------------------------------------------------------------
+    def _access(self, address: int, is_write: bool, data: np.ndarray | None) -> AccessResult:
+        set_index = self._config.set_index(address)
+        cache_set = self._sets[set_index]
+        tag = self._config.tag(address)
+        self._stamp += 1
+
+        found = cache_set.find(tag)
+        if found is not None:
+            way, block = found
+            cache_set.touch(way, self._stamp)
+            if is_write:
+                self.stats.write_hits += 1
+                if self._config.write_policy is WritePolicy.WRITE_BACK:
+                    block.state = BlockState.MODIFIED
+                else:
+                    self.stats.write_throughs += 1
+                if self._store_data and data is not None:
+                    block.data = self._coerce_data(data)
+            else:
+                self.stats.read_hits += 1
+            return AccessResult(hit=True, data=block.data if not is_write else None)
+
+        # Miss path: allocate (write-allocate for write-back; no-allocate
+        # writes for write-through caches go straight to the next level).
+        if is_write:
+            self.stats.write_misses += 1
+            if self._config.write_policy is WritePolicy.WRITE_THROUGH:
+                self.stats.write_throughs += 1
+                return AccessResult(hit=False)
+        else:
+            self.stats.read_misses += 1
+
+        way = cache_set.victim_way()
+        block = cache_set.ways[way]
+        victim, writeback = self._evict_if_needed(set_index, block)
+        block.tag = tag
+        block.state = BlockState.MODIFIED if (
+            is_write and self._config.write_policy is WritePolicy.WRITE_BACK
+        ) else BlockState.EXCLUSIVE
+        block.data = self._coerce_data(data)
+        cache_set.touch(way, self._stamp)
+        self.stats.fills += 1
+        return AccessResult(
+            hit=False,
+            victim_address=victim,
+            writeback_address=writeback,
+            fill_address=self._config.block_address(address),
+        )
+
+    def _evict_if_needed(
+        self, set_index: int, block: CacheBlock
+    ) -> tuple[int | None, int | None]:
+        """Evict a victim block if valid; returns (victim, dirty-writeback)."""
+        if not block.valid:
+            return None, None
+        self.stats.evictions += 1
+        victim = self._block_address(set_index, block.tag)
+        writeback = None
+        if block.dirty and self._config.write_policy is WritePolicy.WRITE_BACK:
+            self.stats.dirty_evictions += 1
+            writeback = victim
+        block.invalidate()
+        return victim, writeback
+
+    def _block_address(self, set_index: int, tag: int) -> int:
+        return (tag * self._config.n_sets + set_index) * self._config.line_bytes
+
+    def _coerce_data(self, data: np.ndarray | None) -> np.ndarray | None:
+        if not self._store_data:
+            return None
+        if data is None:
+            return np.zeros(self._config.line_bytes, dtype=np.uint8)
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.size != self._config.line_bytes:
+            raise ValueError(
+                f"line data must be {self._config.line_bytes} bytes, got {arr.size}"
+            )
+        return arr.copy()

@@ -1,0 +1,271 @@
+"""The 2D-protected cache controller: functional cache + protected banks.
+
+This module ties the behavioural cache (:class:`SetAssociativeCache`) to
+the bit-accurate 2D-protected SRAM banks
+(:class:`~repro.array.twod_array.TwoDProtectedArray`):
+
+* each cache line owns a fixed *frame* of consecutive words in one data
+  bank (line bytes / word bytes words),
+* every line write — store hits, miss fills, write-backs arriving from
+  upper levels — goes through the bank's read-before-write path, which is
+  exactly the operation stream the paper's Figure 6 accounts for,
+* every line read checks the horizontal code word-by-word; detected
+  uncorrectable words trigger the bank's 2D recovery.
+
+The controller exposes the same hit/miss statistics as the raw cache plus
+the protection statistics of the banks, so integration tests and examples
+can inject errors into the banks and watch reads come back clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array import BankLayout, ReadStatus, TwoDProtectedArray
+from repro.coding.base import WordCode, bits_to_int, int_to_bits
+
+from .cache import AccessResult, CacheConfig, SetAssociativeCache
+
+__all__ = ["ProtectedCacheController", "LineReadResult"]
+
+
+@dataclass
+class LineReadResult:
+    """Result of reading one cache line through the protected data banks."""
+
+    data: np.ndarray
+    #: Worst word status encountered while reading the line.
+    status: ReadStatus
+    hit: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not ReadStatus.UNCORRECTABLE
+
+
+_STATUS_SEVERITY = {
+    ReadStatus.CLEAN: 0,
+    ReadStatus.CORRECTED_HORIZONTAL: 1,
+    ReadStatus.CORRECTED_2D: 2,
+    ReadStatus.UNCORRECTABLE: 3,
+}
+
+
+class ProtectedCacheController:
+    """A cache whose data array is stored in 2D-protected SRAM banks.
+
+    Parameters
+    ----------
+    config:
+        Cache geometry (size, associativity, line size, banks).
+    horizontal_code:
+        Per-word horizontal code for the data banks.
+    word_bits:
+        Protected word width (64 for L1-style banks, 256 for L2-style).
+    interleave_degree:
+        Physical bit interleaving inside the banks.
+    vertical_groups:
+        Number of vertical parity rows per bank (EDC-V).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        horizontal_code: WordCode,
+        word_bits: int = 64,
+        interleave_degree: int = 4,
+        vertical_groups: int = 32,
+    ):
+        if word_bits % 8:
+            raise ValueError("word_bits must be a whole number of bytes")
+        line_bits = config.line_bytes * 8
+        if line_bits % word_bits:
+            raise ValueError("line size must be a whole number of protected words")
+        if horizontal_code.data_bits != word_bits:
+            raise ValueError("horizontal code width must equal word_bits")
+
+        self._config = config
+        self._cache = SetAssociativeCache(config, store_data=True)
+        self._hcode = horizontal_code
+        self._word_bits = word_bits
+        self._words_per_line = line_bits // word_bits
+
+        total_words = config.n_lines * self._words_per_line
+        words_per_bank = -(-total_words // config.n_banks)
+        # Round up so every bank row is full under the interleave degree and
+        # each bank has at least vertical_groups rows.
+        min_words = max(
+            interleave_degree * vertical_groups,
+            -(-words_per_bank // interleave_degree) * interleave_degree,
+        )
+        layout = BankLayout(
+            n_words=min_words,
+            data_bits=word_bits,
+            check_bits=horizontal_code.check_bits,
+            interleave_degree=interleave_degree,
+        )
+        self._banks = [
+            TwoDProtectedArray(layout, horizontal_code, vertical_groups, name=f"{config.name}.bank{i}")
+            for i in range(config.n_banks)
+        ]
+        self._words_per_bank = min_words
+
+        # frame bookkeeping: block address -> line frame index
+        self._frames: dict[int, int] = {}
+        self._free_frames = list(range(config.n_lines - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def cache(self) -> SetAssociativeCache:
+        """The underlying functional (tag/state) cache."""
+        return self._cache
+
+    @property
+    def banks(self) -> list[TwoDProtectedArray]:
+        """The protected data banks (exposed for error injection)."""
+        return self._banks
+
+    @property
+    def words_per_line(self) -> int:
+        return self._words_per_line
+
+    # ------------------------------------------------------------------
+    # line-granularity operations used by the hierarchy
+    # ------------------------------------------------------------------
+    def read_line(self, address: int) -> LineReadResult:
+        """Read a full line; a miss returns ``hit=False`` and no data.
+
+        Misses do not allocate — installing a fetched line is the
+        hierarchy's job via :meth:`fill_line`, which keeps frame ownership
+        (and dirty-eviction data capture) in one place.
+        """
+        if not self._cache.contains(address):
+            self._cache.stats.read_misses += 1
+            return LineReadResult(
+                data=np.zeros(self._config.line_bytes, dtype=np.uint8),
+                status=ReadStatus.CLEAN,
+                hit=False,
+            )
+        self._cache.read(address)  # hit: update LRU and hit statistics
+        data, status = self._read_frame(self._config.block_address(address))
+        return LineReadResult(data=data, status=status, hit=True)
+
+    def write_line(self, address: int, data: np.ndarray) -> AccessResult:
+        """Write a full line (store or incoming write-back); allocate on miss."""
+        data = self._coerce_line(data)
+        result = self._cache.write(address, data)
+        if not result.hit:
+            if not self._cache.contains(address):
+                # Write-through, no-allocate miss: the data bypasses this
+                # cache entirely and goes to the next level.
+                return result
+            # Write-allocate: the functional cache installed the line; give
+            # it a frame (handling any eviction first).
+            result.evicted_data = self._capture_frame(result.writeback_address)
+            self._release_frame(result.victim_address)
+            self._assign_frame(self._config.block_address(address))
+        self._write_frame(address, data)
+        return result
+
+    def fill_line(self, address: int, data: np.ndarray, dirty: bool = False) -> AccessResult:
+        """Install a line fetched from the next level."""
+        data = self._coerce_line(data)
+        result = self._cache.fill(address, data, dirty=dirty)
+        result.evicted_data = self._capture_frame(result.writeback_address)
+        self._release_frame(result.victim_address)
+        self._assign_frame(self._config.block_address(address))
+        self._write_frame(address, data)
+        return result
+
+    def evict_line(self, address: int) -> np.ndarray | None:
+        """Read out and invalidate a line (used when draining dirty data)."""
+        block_address = self._config.block_address(address)
+        if block_address not in self._frames:
+            return None
+        data, _status = self._read_frame(block_address)
+        self._cache.invalidate(block_address)
+        self._release_frame(block_address)
+        return data
+
+    # ------------------------------------------------------------------
+    # protection statistics
+    # ------------------------------------------------------------------
+    def total_recoveries(self) -> int:
+        return sum(bank.stats.recoveries for bank in self._banks)
+
+    def total_horizontal_corrections(self) -> int:
+        return sum(bank.stats.horizontal_corrections for bank in self._banks)
+
+    def total_read_before_writes(self) -> int:
+        return sum(bank.stats.read_before_writes for bank in self._banks)
+
+    def total_uncorrectable(self) -> int:
+        return sum(bank.stats.uncorrectable_reads for bank in self._banks)
+
+    # ------------------------------------------------------------------
+    def _coerce_line(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.size != self._config.line_bytes:
+            raise ValueError(
+                f"line data must be {self._config.line_bytes} bytes, got {arr.size}"
+            )
+        return arr
+
+    def _assign_frame(self, block_address: int) -> int:
+        if block_address in self._frames:
+            return self._frames[block_address]
+        if not self._free_frames:
+            raise RuntimeError("no free line frames; cache bookkeeping out of sync")
+        frame = self._free_frames.pop()
+        self._frames[block_address] = frame
+        return frame
+
+    def _capture_frame(self, block_address: int | None) -> np.ndarray | None:
+        """Read out a frame's data before it is released (dirty eviction)."""
+        if block_address is None or block_address not in self._frames:
+            return None
+        data, _status = self._read_frame(block_address)
+        return data
+
+    def _release_frame(self, block_address: int | None) -> None:
+        if block_address is None:
+            return
+        frame = self._frames.pop(block_address, None)
+        if frame is not None:
+            self._free_frames.append(frame)
+
+    def _frame_words(self, block_address: int) -> tuple[TwoDProtectedArray, range]:
+        frame = self._frames[block_address]
+        global_word = frame * self._words_per_line
+        bank_index = global_word // self._words_per_bank % len(self._banks)
+        start = global_word % self._words_per_bank
+        return self._banks[bank_index], range(start, start + self._words_per_line)
+
+    def _write_frame(self, address: int, data: np.ndarray) -> None:
+        block_address = self._config.block_address(address)
+        bank, words = self._frame_words(block_address)
+        bytes_per_word = self._word_bits // 8
+        for i, word_index in enumerate(words):
+            chunk = data[i * bytes_per_word : (i + 1) * bytes_per_word]
+            bits = np.unpackbits(chunk, bitorder="little")
+            bank.write_word(word_index, bits)
+
+    def _read_frame(self, block_address: int) -> tuple[np.ndarray, ReadStatus]:
+        bank, words = self._frame_words(block_address)
+        bytes_per_word = self._word_bits // 8
+        out = np.zeros(self._config.line_bytes, dtype=np.uint8)
+        worst = ReadStatus.CLEAN
+        for i, word_index in enumerate(words):
+            outcome = bank.read_word(word_index)
+            out[i * bytes_per_word : (i + 1) * bytes_per_word] = np.packbits(
+                outcome.data, bitorder="little"
+            )
+            if _STATUS_SEVERITY[outcome.status] > _STATUS_SEVERITY[worst]:
+                worst = outcome.status
+        return out, worst

@@ -1,0 +1,213 @@
+"""A small two-level cache hierarchy: per-core L1 data caches + shared L2.
+
+This is the functional (data-carrying) counterpart of the CMP systems in
+Table 1: each core has a private L1 data cache and all cores share one L2,
+both optionally protected by 2D coding via
+:class:`~repro.cache.controller.ProtectedCacheController`.  Backing store
+is a simple byte-addressable memory dictionary.
+
+The hierarchy keeps the coherence model deliberately simple (write-back,
+write-allocate, inclusive L2, invalidate-on-remote-write), because the
+functional hierarchy exists to demonstrate end-to-end data integrity under
+error injection — the performance evaluation of Fig. 5/6 uses the timing
+model in :mod:`repro.cmp` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.array import ReadStatus
+
+from .cache import CacheConfig
+from .controller import LineReadResult, ProtectedCacheController
+
+__all__ = ["MainMemory", "CacheHierarchy", "HierarchyStats"]
+
+
+class MainMemory:
+    """Byte-addressable backing store with line-granularity access."""
+
+    def __init__(self, line_bytes: int = 64):
+        self._line_bytes = line_bytes
+        self._lines: dict[int, np.ndarray] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_line(self, address: int) -> np.ndarray:
+        self.reads += 1
+        block = (address // self._line_bytes) * self._line_bytes
+        return self._lines.get(block, np.zeros(self._line_bytes, dtype=np.uint8)).copy()
+
+    def write_line(self, address: int, data: np.ndarray) -> None:
+        self.writes += 1
+        block = (address // self._line_bytes) * self._line_bytes
+        arr = np.asarray(data, dtype=np.uint8)
+        if arr.size != self._line_bytes:
+            raise ValueError(f"line must be {self._line_bytes} bytes")
+        self._lines[block] = arr.copy()
+
+
+@dataclass
+class HierarchyStats:
+    """End-to-end counters for the functional hierarchy."""
+
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    writebacks_to_l2: int = 0
+    writebacks_to_memory: int = 0
+    uncorrectable_reads: int = 0
+
+
+class CacheHierarchy:
+    """Per-core private L1 data caches in front of a shared L2."""
+
+    def __init__(
+        self,
+        l1_controllers: list[ProtectedCacheController],
+        l2_controller: ProtectedCacheController,
+        memory: MainMemory | None = None,
+    ):
+        if not l1_controllers:
+            raise ValueError("at least one L1 cache is required")
+        line_bytes = l2_controller.config.line_bytes
+        for l1 in l1_controllers:
+            if l1.config.line_bytes != line_bytes:
+                raise ValueError("all caches must share the same line size")
+        self._l1s = l1_controllers
+        self._l2 = l2_controller
+        self._memory = memory if memory is not None else MainMemory(line_bytes)
+        self._line_bytes = line_bytes
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def l1_caches(self) -> list[ProtectedCacheController]:
+        return self._l1s
+
+    @property
+    def l2_cache(self) -> ProtectedCacheController:
+        return self._l2
+
+    @property
+    def memory(self) -> MainMemory:
+        return self._memory
+
+    @property
+    def n_cores(self) -> int:
+        return len(self._l1s)
+
+    # ------------------------------------------------------------------
+    def load(self, core: int, address: int) -> np.ndarray:
+        """Load a full line through core ``core``'s L1."""
+        self.stats.loads += 1
+        l1 = self._l1(core)
+        result = l1.read_line(address)
+        if result.hit:
+            self.stats.l1_hits += 1
+            self._note_status(result)
+            return result.data
+        self.stats.l1_misses += 1
+        # Another core may hold the only up-to-date (dirty) copy: flush it
+        # into the shared L2 first (the L1-to-L1 transfer path of Fig. 5 is
+        # modelled as a transfer through the shared L2).
+        for other in self._l1s:
+            if other is not l1 and other.cache.contains(address):
+                transferred = other.evict_line(address)
+                if transferred is not None:
+                    self._l2_write(address, transferred)
+        data = self._fetch_from_l2(address)
+        fill = l1.fill_line(address, data, dirty=False)
+        self._handle_l1_writeback(fill)
+        return data
+
+    def store(self, core: int, address: int, data: np.ndarray) -> None:
+        """Store a full line through core ``core``'s L1 (write-back, allocate)."""
+        self.stats.stores += 1
+        l1 = self._l1(core)
+        # Simple coherence: a writer invalidates every other core's copy.
+        for other_index, other in enumerate(self._l1s):
+            if other is not l1 and other.cache.contains(address):
+                evicted = other.evict_line(address)
+                if evicted is not None:
+                    self._l2_write(address, evicted)
+        hit = l1.cache.contains(address)
+        if hit:
+            self.stats.l1_hits += 1
+        else:
+            self.stats.l1_misses += 1
+            # write-allocate: fetch the rest of the line first
+            current = self._fetch_from_l2(address)
+            fill = l1.fill_line(address, current, dirty=False)
+            self._handle_l1_writeback(fill)
+        result = l1.write_line(address, data)
+        self._handle_l1_writeback(result)
+
+    def drain(self) -> None:
+        """Write every dirty line back down to memory (used at test end)."""
+        for l1 in self._l1s:
+            for block_address in l1.cache.dirty_lines():
+                data = l1.evict_line(block_address)
+                if data is not None:
+                    self._l2_write(block_address, data)
+        for block_address in self._l2.cache.dirty_lines():
+            data = self._l2.evict_line(block_address)
+            if data is not None:
+                self._memory.write_line(block_address, data)
+                self.stats.writebacks_to_memory += 1
+
+    # ------------------------------------------------------------------
+    def _l1(self, core: int) -> ProtectedCacheController:
+        if not 0 <= core < len(self._l1s):
+            raise ValueError(f"core {core} out of range")
+        return self._l1s[core]
+
+    def _fetch_from_l2(self, address: int) -> np.ndarray:
+        result = self._l2.read_line(address)
+        if result.hit:
+            self.stats.l2_hits += 1
+            self._note_status(result)
+            return result.data
+        self.stats.l2_misses += 1
+        data = self._memory.read_line(address)
+        fill = self._l2.fill_line(address, data, dirty=False)
+        self._handle_l2_writeback(fill)
+        return data
+
+    def _l2_write(self, address: int, data: np.ndarray) -> None:
+        self.stats.writebacks_to_l2 += 1
+        result = self._l2.write_line(address, data)
+        self._handle_l2_writeback(result)
+
+    def _handle_l1_writeback(self, result) -> None:
+        """Forward a dirty line evicted from an L1 down into the L2."""
+        if result.writeback_address is None:
+            return
+        payload = (
+            result.evicted_data
+            if result.evicted_data is not None
+            else np.zeros(self._line_bytes, dtype=np.uint8)
+        )
+        self._l2_write(result.writeback_address, payload)
+
+    def _handle_l2_writeback(self, result) -> None:
+        """Forward a dirty line evicted from the L2 down into memory."""
+        if result.writeback_address is None:
+            return
+        payload = (
+            result.evicted_data
+            if result.evicted_data is not None
+            else np.zeros(self._line_bytes, dtype=np.uint8)
+        )
+        self.stats.writebacks_to_memory += 1
+        self._memory.write_line(result.writeback_address, payload)
+
+    def _note_status(self, result: LineReadResult) -> None:
+        if result.status is ReadStatus.UNCORRECTABLE:
+            self.stats.uncorrectable_reads += 1

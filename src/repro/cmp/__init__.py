@@ -1,0 +1,35 @@
+"""CMP performance models: the "fat" and "lean" systems of Table 1."""
+
+from .config import (
+    CacheTimingConfig,
+    CmpConfig,
+    CoreConfig,
+    CoreType,
+    PROTECTION_SCENARIOS,
+    ProtectionConfig,
+    fat_cmp_config,
+    lean_cmp_config,
+)
+from .resources import BankScheduler, PortScheduler, StealQueue
+from .simulator import CmpSimulator, compare_protection, simulate
+from .stats import CacheAccessBreakdown, PerformanceComparison, SimulationResult
+
+__all__ = [
+    "CacheTimingConfig",
+    "CmpConfig",
+    "CoreConfig",
+    "CoreType",
+    "PROTECTION_SCENARIOS",
+    "ProtectionConfig",
+    "fat_cmp_config",
+    "lean_cmp_config",
+    "BankScheduler",
+    "PortScheduler",
+    "StealQueue",
+    "CmpSimulator",
+    "compare_protection",
+    "simulate",
+    "CacheAccessBreakdown",
+    "PerformanceComparison",
+    "SimulationResult",
+]

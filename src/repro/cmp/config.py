@@ -1,0 +1,224 @@
+"""CMP system configurations (Table 1 of the paper).
+
+Two baseline systems are modelled:
+
+* the **fat CMP** — four 4-wide out-of-order cores, dual-ported 64kB L1
+  data caches, a 16MB shared L2; balances single-thread performance and
+  throughput, and
+* the **lean CMP** — eight 2-wide in-order cores with 4 hardware threads
+  each, single-ported 64kB L1 data caches, a 4MB shared L2; targets
+  throughput only.
+
+The protection configuration (which caches carry 2D coding and whether
+the L1 uses port stealing) is orthogonal and captured by
+:class:`ProtectionConfig`, matching the four bars of Figure 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CoreType",
+    "CoreConfig",
+    "CacheTimingConfig",
+    "CmpConfig",
+    "ProtectionConfig",
+    "fat_cmp_config",
+    "lean_cmp_config",
+    "PROTECTION_SCENARIOS",
+]
+
+
+class CoreType(enum.Enum):
+    """Microarchitectural style of the cores."""
+
+    OUT_OF_ORDER = "out_of_order"
+    IN_ORDER_SMT = "in_order_smt"
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Per-core parameters relevant to the contention model."""
+
+    core_type: CoreType
+    issue_width: int
+    hardware_threads: int = 1
+    store_queue_entries: int = 64
+    #: Multiplier applied to access rates during bursty phases; OoO cores
+    #: cluster their memory accesses, which is what makes L1 port
+    #: contention visible (Section 4: "bursty access patterns").
+    burstiness: float = 3.0
+    #: Fraction of cycles spent in the bursty phase.
+    burst_fraction: float = 0.25
+    #: Scale applied to the workload profile's per-core L1 access rates —
+    #: a 4-wide out-of-order core generates roughly twice the per-core L1
+    #: traffic of a 2-wide in-order core (Section 5.1: "the fat CMP
+    #: consumes higher L1 cache bandwidth per core").
+    l1_traffic_scale: float = 1.0
+    #: Scale applied to the per-core L2 access rates.
+    l2_traffic_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1 or self.hardware_threads < 1:
+            raise ValueError("core width/threads must be positive")
+        if self.store_queue_entries < 1:
+            raise ValueError("store queue must have at least one entry")
+        if self.burstiness < 1.0:
+            raise ValueError("burstiness must be >= 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.l1_traffic_scale <= 0 or self.l2_traffic_scale <= 0:
+            raise ValueError("traffic scales must be positive")
+
+
+@dataclass(frozen=True)
+class CacheTimingConfig:
+    """Timing/structural parameters of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    n_ports: int
+    n_banks: int
+    hit_latency: int
+    #: Cycles a bank stays busy per access (bank occupancy).
+    bank_busy_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.size_bytes, self.associativity, self.line_bytes) <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.n_ports < 1 or self.n_banks < 1:
+            raise ValueError("ports/banks must be positive")
+        if self.hit_latency < 1 or self.bank_busy_cycles < 1:
+            raise ValueError("latencies must be positive")
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """A complete CMP system description."""
+
+    name: str
+    n_cores: int
+    core: CoreConfig
+    l1d: CacheTimingConfig
+    l2: CacheTimingConfig
+    memory_latency: int = 240  # 60ns at 4GHz
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be positive")
+        if self.memory_latency < 1:
+            raise ValueError("memory latency must be positive")
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Which caches carry 2D coding and how the L1 handles read-before-write.
+
+    The four evaluated combinations of Fig. 5 are provided in
+    :data:`PROTECTION_SCENARIOS`.
+    """
+
+    protect_l1: bool = False
+    protect_l2: bool = False
+    l1_port_stealing: bool = False
+    label: str = "baseline"
+
+    @property
+    def any_protection(self) -> bool:
+        return self.protect_l1 or self.protect_l2
+
+
+#: The protection scenarios plotted as the four bars of Fig. 5, plus the
+#: unprotected baseline used as the IPC reference.
+PROTECTION_SCENARIOS: dict[str, ProtectionConfig] = {
+    "baseline": ProtectionConfig(label="baseline"),
+    "l1": ProtectionConfig(protect_l1=True, label="L1 D-cache"),
+    "l1_ps": ProtectionConfig(
+        protect_l1=True, l1_port_stealing=True, label="L1 D-cache with port stealing"
+    ),
+    "l2": ProtectionConfig(protect_l2=True, label="L2 cache"),
+    "l1_ps_l2": ProtectionConfig(
+        protect_l1=True,
+        protect_l2=True,
+        l1_port_stealing=True,
+        label="L1 D-cache with port stealing + L2 cache",
+    ),
+}
+
+
+def fat_cmp_config() -> CmpConfig:
+    """The paper's "fat" CMP: 4 out-of-order cores, 2-port L1D, 16MB L2."""
+    return CmpConfig(
+        name="fat",
+        n_cores=4,
+        core=CoreConfig(
+            core_type=CoreType.OUT_OF_ORDER,
+            issue_width=4,
+            hardware_threads=1,
+            store_queue_entries=64,
+            burstiness=4.0,
+            burst_fraction=0.2,
+            l1_traffic_scale=1.0,
+            l2_traffic_scale=1.0,
+        ),
+        l1d=CacheTimingConfig(
+            name="L1D",
+            size_bytes=64 * 1024,
+            associativity=2,
+            line_bytes=64,
+            n_ports=2,
+            n_banks=1,
+            hit_latency=2,
+        ),
+        l2=CacheTimingConfig(
+            name="L2",
+            size_bytes=16 * 1024 * 1024,
+            associativity=8,
+            line_bytes=64,
+            n_ports=1,
+            n_banks=16,
+            hit_latency=16,
+            bank_busy_cycles=4,
+        ),
+    )
+
+
+def lean_cmp_config() -> CmpConfig:
+    """The paper's "lean" CMP: 8 in-order 4-thread cores, 1-port L1D, 4MB L2."""
+    return CmpConfig(
+        name="lean",
+        n_cores=8,
+        core=CoreConfig(
+            core_type=CoreType.IN_ORDER_SMT,
+            issue_width=2,
+            hardware_threads=4,
+            store_queue_entries=64,
+            burstiness=1.5,
+            burst_fraction=0.25,
+            l1_traffic_scale=0.55,
+            l2_traffic_scale=0.8,
+        ),
+        l1d=CacheTimingConfig(
+            name="L1D",
+            size_bytes=64 * 1024,
+            associativity=2,
+            line_bytes=64,
+            n_ports=1,
+            n_banks=1,
+            hit_latency=2,
+        ),
+        l2=CacheTimingConfig(
+            name="L2",
+            size_bytes=4 * 1024 * 1024,
+            associativity=16,
+            line_bytes=64,
+            n_ports=1,
+            n_banks=8,
+            hit_latency=12,
+            bank_busy_cycles=4,
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Result records produced by the CMP performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheAccessBreakdown", "SimulationResult", "PerformanceComparison"]
+
+
+@dataclass
+class CacheAccessBreakdown:
+    """Cache accesses per 100 cycles, split the way Figure 6 splits them.
+
+    All values are aggregate over the traffic the figure plots (all cores'
+    L1 data caches, or the whole shared L2).
+    """
+
+    inst_reads: float = 0.0
+    data_reads: float = 0.0
+    writes: float = 0.0
+    fill_evict: float = 0.0
+    extra_2d_reads: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.inst_reads
+            + self.data_reads
+            + self.writes
+            + self.fill_evict
+            + self.extra_2d_reads
+        )
+
+    @property
+    def baseline_total(self) -> float:
+        """Accesses excluding the extra reads added by 2D coding."""
+        return self.inst_reads + self.data_reads + self.writes + self.fill_evict
+
+    @property
+    def extra_read_fraction(self) -> float:
+        """Extra 2D reads as a fraction of the baseline traffic (~20% in the paper)."""
+        base = self.baseline_total
+        return self.extra_2d_reads / base if base else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Read: Inst": self.inst_reads,
+            "Read: Data": self.data_reads,
+            "Write": self.writes,
+            "Fill/Evict": self.fill_evict,
+            "Extra Read for 2D Coding": self.extra_2d_reads,
+        }
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one (CMP, workload, protection) combination."""
+
+    cmp_name: str
+    workload: str
+    protection_label: str
+    cycles: int
+    aggregate_ipc: float
+    per_core_ipc: list[float] = field(default_factory=list)
+    l1_breakdown: CacheAccessBreakdown = field(default_factory=CacheAccessBreakdown)
+    l2_breakdown: CacheAccessBreakdown = field(default_factory=CacheAccessBreakdown)
+    l1_port_utilization: float = 0.0
+    l2_bank_utilization: float = 0.0
+    port_steals: int = 0
+    forced_steals: int = 0
+
+
+@dataclass
+class PerformanceComparison:
+    """Protected-vs-baseline comparison for one workload (a Fig. 5 bar)."""
+
+    cmp_name: str
+    workload: str
+    protection_label: str
+    baseline_ipc: float
+    protected_ipc: float
+
+    @property
+    def ipc_loss_percent(self) -> float:
+        """Performance loss in % IPC (the Fig. 5 y-axis)."""
+        if self.baseline_ipc <= 0:
+            return 0.0
+        return max(0.0, (1.0 - self.protected_ipc / self.baseline_ipc) * 100.0)

@@ -1,0 +1,55 @@
+"""Per-word error detection and correction codes (the coding substrate).
+
+This package implements the codes evaluated by the paper:
+
+* :class:`~repro.coding.parity.InterleavedParityCode` — ``EDCn``
+  bit-interleaved parity (the light-weight detection code used both
+  horizontally and, across rows, vertically).
+* :class:`~repro.coding.hamming.SecdedCode` — (72,64)-style extended
+  Hamming SECDED, the conventional baseline.
+* :class:`~repro.coding.bch.DectedCode`, :class:`~repro.coding.bch.QecpedCode`,
+  :class:`~repro.coding.bch.OecnedCode` — t = 2/4/8 binary BCH codes, the
+  "scaled-up conventional ECC" comparison points.
+* :mod:`~repro.coding.overhead` — storage/latency/energy overhead models
+  (Fig. 1, Fig. 7 inputs).
+* :mod:`~repro.coding.interleave` — physical bit interleaving (column
+  multiplexing) model (Fig. 2 input).
+"""
+
+from .base import (
+    CodeGeometry,
+    CodeStatus,
+    DecodeResult,
+    WordCode,
+    bits_to_int,
+    int_to_bits,
+)
+from .bch import BchCode, DectedCode, OecnedCode, QecpedCode
+from .hamming import SecdedCode
+from .interleave import InterleavingConfig, interleaved_burst_coverage
+from .overhead import CodeOverhead, code_overhead, standard_codes
+from .parity import ByteParityCode, InterleavedParityCode
+from .registry import available_codes, make_code
+
+__all__ = [
+    "CodeGeometry",
+    "CodeStatus",
+    "DecodeResult",
+    "WordCode",
+    "bits_to_int",
+    "int_to_bits",
+    "BchCode",
+    "DectedCode",
+    "QecpedCode",
+    "OecnedCode",
+    "SecdedCode",
+    "InterleavingConfig",
+    "interleaved_burst_coverage",
+    "CodeOverhead",
+    "code_overhead",
+    "standard_codes",
+    "ByteParityCode",
+    "InterleavedParityCode",
+    "available_codes",
+    "make_code",
+]

@@ -1,0 +1,265 @@
+"""Common abstractions for per-word error detection and correction codes.
+
+The paper's horizontal codes (EDCn interleaved parity, SECDED, DECTED,
+QECPED, OECNED) all operate on a fixed-width data word and produce a small
+number of check bits.  This module defines the shared vocabulary:
+
+* :class:`CodeStatus` — the outcome of decoding a (possibly corrupted)
+  codeword.
+* :class:`DecodeResult` — the decoded data plus status and, when available,
+  the corrected bit positions.
+* :class:`WordCode` — the abstract interface every concrete code
+  implements.
+
+Bit conventions
+---------------
+Data and check bits are represented as 1-D ``numpy`` arrays of dtype
+``uint8`` containing 0/1 values.  Bit position 0 is the least significant
+bit of the data word.  Helper functions convert between integers and bit
+arrays so user code may work with plain Python integers.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CodeStatus",
+    "DecodeResult",
+    "WordCode",
+    "int_to_bits",
+    "bits_to_int",
+    "as_bit_array",
+    "random_word",
+]
+
+
+class CodeStatus(enum.Enum):
+    """Outcome of decoding a codeword."""
+
+    #: No error was detected.
+    CLEAN = "clean"
+    #: An error was detected and fully corrected in-line.
+    CORRECTED = "corrected"
+    #: An error was detected but could not be corrected by this code.
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+    #: The codeword decoded without complaint but the result is known (by
+    #: the caller, e.g. a test harness) to be wrong — silent corruption.
+    #: Codes never return this themselves; it exists for evaluation code.
+    MISCORRECTED = "miscorrected"
+
+
+@dataclass
+class DecodeResult:
+    """Result of decoding a possibly-corrupted codeword.
+
+    Attributes
+    ----------
+    data:
+        The decoded data bits (after any in-line correction).
+    status:
+        Outcome of the decode.
+    corrected_bits:
+        Data-bit positions that were flipped back by in-line correction.
+        Empty when no correction was performed.
+    corrected_check_bits:
+        Check-bit positions that were corrected (errors confined to the
+        check bits do not affect the data).
+    syndrome_nonzero:
+        True when the syndrome indicated any disagreement between the data
+        and check bits, regardless of whether it was correctable.
+    """
+
+    data: np.ndarray
+    status: CodeStatus
+    corrected_bits: tuple[int, ...] = ()
+    corrected_check_bits: tuple[int, ...] = ()
+    syndrome_nonzero: bool = False
+
+    @property
+    def detected(self) -> bool:
+        """True when the code noticed anything wrong."""
+        return self.status in (
+            CodeStatus.CORRECTED,
+            CodeStatus.DETECTED_UNCORRECTABLE,
+        )
+
+    @property
+    def corrected(self) -> bool:
+        """True when the code returned corrected data."""
+        return self.status is CodeStatus.CORRECTED
+
+
+def as_bit_array(bits: "np.ndarray | list[int] | tuple[int, ...]") -> np.ndarray:
+    """Coerce a bit sequence into a ``uint8`` array of 0/1 values."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D bit array, got shape {arr.shape}")
+    if arr.size and arr.max() > 1:
+        raise ValueError("bit arrays may only contain 0 and 1")
+    return arr
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Convert a non-negative integer into a little-endian bit array."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Convert a little-endian bit array into an integer."""
+    arr = as_bit_array(bits)
+    value = 0
+    for i, b in enumerate(arr):
+        if b:
+            value |= 1 << i
+    return value
+
+
+def random_word(width: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate a uniformly random data word of ``width`` bits."""
+    return rng.integers(0, 2, size=width, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class CodeGeometry:
+    """Static shape description of a word code.
+
+    The paper quotes codes as ``(n, k)`` pairs, e.g. a (72,64) SECDED code
+    stores 8 check bits per 64-bit data word.
+    """
+
+    data_bits: int
+    check_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + self.check_bits
+
+    @property
+    def storage_overhead(self) -> float:
+        """Check-bit storage as a fraction of the data bits (Fig. 1(b))."""
+        return self.check_bits / self.data_bits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.total_bits},{self.data_bits})"
+
+
+class WordCode(abc.ABC):
+    """Abstract per-word error detection/correction code.
+
+    Concrete subclasses implement :meth:`encode` and :meth:`decode`; the
+    shared helpers provide geometry and convenience integer interfaces.
+    """
+
+    #: Short name used in figures and the code registry (e.g. ``"SECDED"``).
+    name: str = "abstract"
+
+    def __init__(self, data_bits: int):
+        if data_bits <= 0:
+            raise ValueError("data_bits must be positive")
+        self._data_bits = int(data_bits)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def data_bits(self) -> int:
+        """Number of data bits per word."""
+        return self._data_bits
+
+    @property
+    @abc.abstractmethod
+    def check_bits(self) -> int:
+        """Number of check bits stored per word."""
+
+    @property
+    def geometry(self) -> CodeGeometry:
+        return CodeGeometry(self.data_bits, self.check_bits)
+
+    @property
+    def total_bits(self) -> int:
+        return self.data_bits + self.check_bits
+
+    # ------------------------------------------------------------------
+    # error coverage description (used by the coverage analysis)
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def detect_bits(self) -> int:
+        """Guaranteed contiguous-burst detection capability in bits."""
+
+    @property
+    @abc.abstractmethod
+    def correct_bits(self) -> int:
+        """Guaranteed random-error correction capability in bits."""
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Compute the check bits for ``data`` (little-endian bit array)."""
+
+    @abc.abstractmethod
+    def decode(self, data: np.ndarray, check: np.ndarray) -> DecodeResult:
+        """Check (and possibly correct) a stored data+check pair."""
+
+    def error_candidates(
+        self, data: np.ndarray, check: np.ndarray
+    ) -> "tuple[int, ...] | None":
+        """Codeword bit positions that could hold the detected error(s).
+
+        For codes whose syndrome localizes errors only partially (e.g.
+        interleaved parity identifies the violated parity *groups* but not
+        the exact bits), this returns every codeword position consistent
+        with the observed syndrome: data positions ``0..data_bits-1``
+        followed by check positions ``data_bits..total_bits-1``.  The 2D
+        recovery process uses it to narrow its column search.  Codes with
+        no such partial information return None.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # convenience integer interface
+    # ------------------------------------------------------------------
+    def encode_int(self, value: int) -> int:
+        """Encode an integer data word, returning the check bits as int."""
+        return bits_to_int(self.encode(int_to_bits(value, self.data_bits)))
+
+    def decode_int(self, value: int, check: int) -> tuple[int, DecodeResult]:
+        """Decode an integer data word + integer check bits."""
+        result = self.decode(
+            int_to_bits(value, self.data_bits),
+            int_to_bits(check, self.check_bits),
+        )
+        return bits_to_int(result.data), result
+
+    # ------------------------------------------------------------------
+    def _validate_word(self, data: np.ndarray) -> np.ndarray:
+        arr = as_bit_array(data)
+        if arr.size != self.data_bits:
+            raise ValueError(
+                f"{self.name} expects {self.data_bits} data bits, got {arr.size}"
+            )
+        return arr
+
+    def _validate_check(self, check: np.ndarray) -> np.ndarray:
+        arr = as_bit_array(check)
+        if arr.size != self.check_bits:
+            raise ValueError(
+                f"{self.name} expects {self.check_bits} check bits, got {arr.size}"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(data_bits={self.data_bits})"

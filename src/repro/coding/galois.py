@@ -1,0 +1,170 @@
+"""Finite-field arithmetic over GF(2^m) used by the BCH codes.
+
+The multi-bit correcting codes evaluated in the paper (DECTED, QECPED,
+OECNED) are t-error-correcting binary BCH codes.  Their construction and
+decoding require arithmetic in GF(2^m):
+
+* element representation as integers whose bits are polynomial
+  coefficients over GF(2),
+* multiplication/inversion via log/antilog tables built from a primitive
+  polynomial,
+* minimal polynomials of powers of the primitive element (for the
+  generator polynomial), and
+* polynomial evaluation (for syndromes and the Chien search).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["GF2m", "PRIMITIVE_POLYNOMIALS"]
+
+#: Conway-style primitive polynomials for GF(2^m), expressed as integer
+#: bit masks (x^m term included).  Index by m.
+PRIMITIVE_POLYNOMIALS: dict[int, int] = {
+    2: 0b111,              # x^2 + x + 1
+    3: 0b1011,             # x^3 + x + 1
+    4: 0b10011,            # x^4 + x + 1
+    5: 0b100101,           # x^5 + x^2 + 1
+    6: 0b1000011,          # x^6 + x + 1
+    7: 0b10001001,         # x^7 + x^3 + 1
+    8: 0b100011101,        # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,       # x^9 + x^4 + 1
+    10: 0b10000001001,     # x^10 + x^3 + 1
+    11: 0b100000000101,    # x^11 + x^2 + 1
+    12: 0b1000001010011,   # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,  # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011, # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """Arithmetic in the finite field GF(2^m).
+
+    Elements are represented as integers in ``[0, 2^m)``.  The class
+    pre-computes exponential and logarithm tables so multiplication,
+    division and inversion are table lookups.
+    """
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(f"no primitive polynomial registered for m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.prim_poly = PRIMITIVE_POLYNOMIALS[m]
+
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.prim_poly
+        exp[self.order : 2 * self.order] = exp[: self.order]
+        self._exp = exp
+        self._log = log
+
+    # ------------------------------------------------------------------
+    def alpha_pow(self, i: int) -> int:
+        """Return α^i for the primitive element α."""
+        return int(self._exp[i % self.order])
+
+    def multiply(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inverse(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return int(self._exp[self.order - self._log[a]])
+
+    def divide(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self._exp[(self._log[a] - self._log[b]) % self.order])
+
+    def power(self, a: int, e: int) -> int:
+        if a == 0:
+            return 0 if e > 0 else 1
+        return int(self._exp[(self._log[a] * e) % self.order])
+
+    def log(self, a: int) -> int:
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return int(self._log[a])
+
+    # ------------------------------------------------------------------
+    # polynomials over GF(2^m): lists of coefficients, lowest degree first
+    # ------------------------------------------------------------------
+    def poly_eval(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial (coefficients low-to-high) at ``x``."""
+        result = 0
+        power = 1
+        for c in coeffs:
+            if c:
+                result ^= self.multiply(c, power)
+            power = self.multiply(power, x)
+        return result
+
+    def poly_mul(self, a: list[int], b: list[int]) -> list[int]:
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ai in enumerate(a):
+            if not ai:
+                continue
+            for j, bj in enumerate(b):
+                if bj:
+                    out[i + j] ^= self.multiply(ai, bj)
+        return out
+
+    # ------------------------------------------------------------------
+    # structure used by BCH construction
+    # ------------------------------------------------------------------
+    def cyclotomic_coset(self, i: int) -> tuple[int, ...]:
+        """The 2-cyclotomic coset of ``i`` modulo ``2^m - 1``."""
+        coset = []
+        x = i % self.order
+        while x not in coset:
+            coset.append(x)
+            x = (x * 2) % self.order
+        return tuple(sorted(coset))
+
+    def minimal_polynomial(self, i: int) -> int:
+        """Minimal polynomial of α^i over GF(2), as a GF(2) bit mask.
+
+        The returned integer has bit ``d`` set when the coefficient of
+        ``x^d`` is one.  The product ``Π (x - α^j)`` over the cyclotomic
+        coset of ``i`` always has coefficients in GF(2).
+        """
+        coset = self.cyclotomic_coset(i)
+        # polynomial over GF(2^m), low-to-high coefficients; start with 1
+        poly = [1]
+        for j in coset:
+            root = self.alpha_pow(j)
+            # multiply by (x + root)  (== x - root in characteristic 2)
+            poly = self.poly_mul(poly, [root, 1])
+        mask = 0
+        for d, c in enumerate(poly):
+            if c not in (0, 1):
+                raise ArithmeticError(
+                    "minimal polynomial has a coefficient outside GF(2); "
+                    "primitive polynomial table is inconsistent"
+                )
+            if c:
+                mask |= 1 << d
+        return mask
+
+
+@lru_cache(maxsize=None)
+def get_field(m: int) -> GF2m:
+    """Shared, cached GF(2^m) instances (table construction is not free)."""
+    return GF2m(m)

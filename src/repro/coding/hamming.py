@@ -1,0 +1,162 @@
+"""Extended Hamming (SECDED) codes.
+
+SECDED — single-error-correct, double-error-detect — is the workhorse
+per-word ECC in contemporary caches (the paper's baseline).  We implement
+it as a shortened extended Hamming code:
+
+* ``m`` parity bits positioned at powers of two give single-error
+  correction over ``2**m - m - 1`` data bits (Hamming distance 3).
+* One extra overall-parity bit extends the distance to 4, distinguishing
+  single errors (correctable) from double errors (detectable only).
+
+For 64-bit data words this yields the familiar (72,64) code; for 256-bit
+words the (266,256) code used in the paper's 4MB L2 configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CodeStatus, DecodeResult, WordCode
+
+__all__ = ["SecdedCode", "hamming_parity_bits"]
+
+
+def hamming_parity_bits(data_bits: int) -> int:
+    """Number of Hamming parity bits (excluding the extended parity bit).
+
+    The smallest ``m`` such that ``2**m >= data_bits + m + 1``.
+    """
+    if data_bits <= 0:
+        raise ValueError("data_bits must be positive")
+    m = 1
+    while (1 << m) < data_bits + m + 1:
+        m += 1
+    return m
+
+
+class SecdedCode(WordCode):
+    """Shortened extended Hamming SECDED code over ``data_bits``.
+
+    The codeword is laid out internally in the classic Hamming positions
+    (1-indexed, parity bits at powers of two) plus an overall parity bit at
+    position 0.  Externally the code exposes the usual
+    ``encode(data) -> check`` / ``decode(data, check)`` interface where
+    ``check`` holds the ``m + 1`` stored check bits.
+    """
+
+    def __init__(self, data_bits: int):
+        super().__init__(data_bits)
+        self._m = hamming_parity_bits(data_bits)
+        self.name = "SECDED"
+        # Pre-compute the mapping from data-bit index to Hamming position
+        # (positions that are not powers of two), and the parity-coverage
+        # masks for each of the m parity bits.
+        total_positions = data_bits + self._m
+        data_positions = []
+        pos = 1
+        while len(data_positions) < data_bits:
+            if pos & (pos - 1):  # not a power of two
+                data_positions.append(pos)
+            pos += 1
+            if pos > (1 << self._m):
+                # continue past the last parity position; all further
+                # positions are data positions
+                pass
+        self._data_positions = np.array(data_positions, dtype=np.int64)
+        self._parity_positions = np.array(
+            [1 << i for i in range(self._m)], dtype=np.int64
+        )
+        # coverage[i] is a boolean mask over data bits covered by parity i
+        self._coverage = np.zeros((self._m, data_bits), dtype=bool)
+        for i in range(self._m):
+            mask = 1 << i
+            self._coverage[i] = (self._data_positions & mask) != 0
+        del total_positions
+
+    # ------------------------------------------------------------------
+    @property
+    def check_bits(self) -> int:
+        return self._m + 1
+
+    @property
+    def detect_bits(self) -> int:
+        return 2
+
+    @property
+    def correct_bits(self) -> int:
+        return 1
+
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = self._validate_word(data)
+        check = np.zeros(self._m + 1, dtype=np.uint8)
+        for i in range(self._m):
+            check[i] = np.bitwise_xor.reduce(data[self._coverage[i]]) if self._coverage[i].any() else 0
+        # extended (overall) parity covers all data bits and all Hamming
+        # parity bits
+        check[self._m] = (int(data.sum()) + int(check[: self._m].sum())) & 1
+        return check
+
+    def decode(self, data: np.ndarray, check: np.ndarray) -> DecodeResult:
+        data = self._validate_word(data)
+        check = self._validate_check(check)
+        expected = self.encode(data)
+        syndrome_bits = np.bitwise_xor(expected[: self._m], check[: self._m])
+        syndrome = 0
+        for i in range(self._m):
+            if syndrome_bits[i]:
+                syndrome |= 1 << i
+        overall = (
+            int(data.sum()) + int(check[: self._m].sum()) + int(check[self._m])
+        ) & 1
+
+        if syndrome == 0 and overall == 0:
+            return DecodeResult(data=data.copy(), status=CodeStatus.CLEAN)
+
+        if overall == 1:
+            # Odd number of flipped bits — assume a single-bit error.
+            if syndrome == 0:
+                # The extended parity bit itself flipped; data is intact.
+                return DecodeResult(
+                    data=data.copy(),
+                    status=CodeStatus.CORRECTED,
+                    corrected_check_bits=(self._m,),
+                    syndrome_nonzero=True,
+                )
+            # Syndrome names a Hamming position.
+            if syndrome & (syndrome - 1) == 0:
+                # A parity (check) bit position — data is intact.
+                check_index = int(np.log2(syndrome))
+                return DecodeResult(
+                    data=data.copy(),
+                    status=CodeStatus.CORRECTED,
+                    corrected_check_bits=(check_index,),
+                    syndrome_nonzero=True,
+                )
+            matches = np.nonzero(self._data_positions == syndrome)[0]
+            if matches.size == 0:
+                # Syndrome points outside the shortened code — the error
+                # pattern is not a legal single-bit error.
+                return DecodeResult(
+                    data=data.copy(),
+                    status=CodeStatus.DETECTED_UNCORRECTABLE,
+                    syndrome_nonzero=True,
+                )
+            bit = int(matches[0])
+            corrected = data.copy()
+            corrected[bit] ^= 1
+            return DecodeResult(
+                data=corrected,
+                status=CodeStatus.CORRECTED,
+                corrected_bits=(bit,),
+                syndrome_nonzero=True,
+            )
+
+        # overall parity agrees but syndrome is non-zero: an even number of
+        # bit flips — detectable but not correctable.
+        return DecodeResult(
+            data=data.copy(),
+            status=CodeStatus.DETECTED_UNCORRECTABLE,
+            syndrome_nonzero=True,
+        )

@@ -1,0 +1,143 @@
+"""Storage, latency, and energy overhead models for per-word codes.
+
+These models reproduce the methodology of the paper's Figures 1 and 7:
+
+* **Storage** — check bits per word, measured relative to the data bits
+  ("Extra Memory Storage" in Fig. 1(b)).  The check-bit counts come from
+  the actual code constructions in this package, which match the paper's
+  Hamming-distance-based estimates (e.g. (72,64) SECDED, (121,64) OECNED).
+* **Coding latency** — estimated, as in the paper, as the depth of the
+  syndrome generation and comparison circuit: an XOR tree per check bit
+  computed in parallel (depth ``ceil(log2(fan-in))``) followed by an OR
+  tree across the check bits (depth ``ceil(log2(check_bits))``), plus a
+  correction stage for correcting codes.
+* **Energy** — energy to read and compute the check bits, modelled as the
+  sum of (a) array read energy for the extra check-bit columns and (b) the
+  switching energy of the XOR tree, both proportional to the number of
+  two-input gates involved.  Absolute joules are not meaningful here; all
+  figures in the paper are normalized, and so are ours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import WordCode
+from .bch import DectedCode, OecnedCode, QecpedCode
+from .hamming import SecdedCode
+from .parity import InterleavedParityCode
+
+__all__ = [
+    "CodeOverhead",
+    "code_overhead",
+    "standard_codes",
+    "xor_tree_depth",
+    "xor_tree_gates",
+]
+
+
+def xor_tree_depth(fan_in: int) -> int:
+    """Logic depth (in 2-input XOR levels) of an XOR tree over ``fan_in`` bits."""
+    if fan_in <= 1:
+        return 0
+    return math.ceil(math.log2(fan_in))
+
+
+def xor_tree_gates(fan_in: int) -> int:
+    """Number of 2-input XOR gates in a balanced XOR tree."""
+    return max(fan_in - 1, 0)
+
+
+@dataclass(frozen=True)
+class CodeOverhead:
+    """Overhead summary for one per-word code applied to one word size."""
+
+    name: str
+    data_bits: int
+    check_bits: int
+    #: Extra storage as a fraction of the data bits (Fig. 1(b) y-axis).
+    storage_overhead: float
+    #: Syndrome-generation + detection logic depth in gate levels.
+    coding_latency_levels: int
+    #: Additional levels needed to locate and correct erroneous bits.
+    correction_latency_levels: int
+    #: Relative energy of computing/checking the code on a read (arbitrary
+    #: units: number of switched 2-input gates plus check-bit column reads).
+    coding_energy: float
+
+    @property
+    def total_latency_levels(self) -> int:
+        return self.coding_latency_levels + self.correction_latency_levels
+
+
+def _correction_levels(code: WordCode) -> int:
+    """Extra logic levels to decode the syndrome into bit flips.
+
+    Detection-only codes need none.  SECDED needs a syndrome decoder (one
+    level of AND decode plus the correcting XOR).  BCH codes of strength t
+    need an iterative/unrolled solver whose depth grows with t; the paper
+    treats this as part of the "coding latency" bar in Fig. 7, growing with
+    code strength.
+    """
+    if code.correct_bits == 0:
+        return 0
+    if code.correct_bits == 1:
+        return 2
+    # Berlekamp-Massey style solving: roughly 2t iterations of a
+    # multiply-accumulate, each a few gate levels deep, plus Chien search
+    # decode — modelled as 4 levels per correctable bit.
+    return 4 * code.correct_bits
+
+
+def code_overhead(code: WordCode) -> CodeOverhead:
+    """Compute the overhead summary of a concrete :class:`WordCode`."""
+    data_bits = code.data_bits
+    check_bits = code.check_bits
+
+    if isinstance(code, InterleavedParityCode):
+        fan_in_per_check = math.ceil(data_bits / check_bits)
+    elif isinstance(code, SecdedCode):
+        # Each Hamming parity bit covers roughly half the data bits.
+        fan_in_per_check = math.ceil(data_bits / 2)
+    else:
+        # BCH parity bits are dense: nearly every data bit feeds every
+        # check bit through the generator-polynomial division network.
+        fan_in_per_check = data_bits
+
+    syndrome_depth = xor_tree_depth(fan_in_per_check)
+    # Comparison / zero-detection across check bits (OR tree).
+    compare_depth = xor_tree_depth(check_bits) if check_bits > 1 else 1
+    coding_latency = syndrome_depth + compare_depth
+    correction_latency = _correction_levels(code)
+
+    # Energy: XOR-tree switching for every check bit plus reading the
+    # check-bit columns out of the array (1 unit per check bit).
+    xor_energy = check_bits * xor_tree_gates(fan_in_per_check)
+    column_read_energy = check_bits * data_bits / 8.0
+    coding_energy = xor_energy + column_read_energy
+
+    return CodeOverhead(
+        name=code.name,
+        data_bits=data_bits,
+        check_bits=check_bits,
+        storage_overhead=check_bits / data_bits,
+        coding_latency_levels=coding_latency,
+        correction_latency_levels=correction_latency,
+        coding_energy=coding_energy,
+    )
+
+
+def standard_codes(data_bits: int) -> dict[str, WordCode]:
+    """The code family evaluated in Fig. 1 for a given word size.
+
+    Returns EDC8, SECDED, DECTED, QECPED and OECNED instances keyed by the
+    paper's names.
+    """
+    return {
+        "EDC8": InterleavedParityCode(data_bits, interleave=8),
+        "SECDED": SecdedCode(data_bits),
+        "DECTED": DectedCode(data_bits),
+        "QECPED": QecpedCode(data_bits),
+        "OECNED": OecnedCode(data_bits),
+    }

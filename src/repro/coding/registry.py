@@ -1,0 +1,56 @@
+"""Name-based construction of per-word codes.
+
+Benchmarks, examples and configuration files refer to codes by the names
+used in the paper ("SECDED", "EDC8", "OECNED", ...).  This registry maps
+those names onto constructors so experiment code never hard-codes classes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from .base import WordCode
+from .bch import BchCode, DectedCode, OecnedCode, QecpedCode
+from .hamming import SecdedCode
+from .parity import ByteParityCode, InterleavedParityCode
+
+__all__ = ["make_code", "available_codes"]
+
+_FACTORIES: dict[str, Callable[[int], WordCode]] = {
+    "SECDED": SecdedCode,
+    "DECTED": DectedCode,
+    "QECPED": QecpedCode,
+    "OECNED": OecnedCode,
+    "BYTE_PARITY": ByteParityCode,
+}
+
+_EDC_PATTERN = re.compile(r"^EDC(\d+)$")
+_BCH_PATTERN = re.compile(r"^BCH\(T=(\d+)\)$")
+
+
+def make_code(name: str, data_bits: int) -> WordCode:
+    """Construct a per-word code by its paper name.
+
+    Supported names: ``EDCn`` for any interleave ``n`` (e.g. ``EDC8``,
+    ``EDC16``), ``SECDED``, ``DECTED``, ``QECPED``, ``OECNED``,
+    ``BCH(t=N)`` and ``BYTE_PARITY``.  Names are case-insensitive.
+    """
+    key = name.strip().upper()
+    if key in _FACTORIES:
+        return _FACTORIES[key](data_bits)
+    edc = _EDC_PATTERN.match(key)
+    if edc:
+        return InterleavedParityCode(data_bits, interleave=int(edc.group(1)))
+    bch = _BCH_PATTERN.match(key)
+    if bch:
+        return BchCode(data_bits, t=int(bch.group(1)))
+    raise ValueError(
+        f"unknown code name {name!r}; known names: "
+        f"{', '.join(sorted(available_codes()))}, EDCn, BCH(t=N)"
+    )
+
+
+def available_codes() -> tuple[str, ...]:
+    """Fixed (non-parameterized) code names the registry recognizes."""
+    return tuple(sorted(_FACTORIES))

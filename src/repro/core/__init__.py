@@ -1,0 +1,41 @@
+"""The paper's primary contribution, composed: 2D coding schemes, coverage
+analysis, protected array/cache factories and per-figure experiment
+drivers."""
+
+from .coverage import CoverageReport, analyze_scheme, fig3_schemes
+from .experiments import (
+    fig1_energy_overhead,
+    fig1_storage_overhead,
+    fig2_interleaving_energy,
+    fig3_coverage,
+    fig5_performance,
+    fig6_access_breakdown,
+    fig7_scheme_comparison,
+    fig8_reliability,
+    fig8_yield,
+)
+from .factory import build_protected_bank, build_protected_cache
+from .schemes import TWO_D_L1, TWO_D_L2, CodingScheme, SchemeCost, l1_schemes, l2_schemes
+
+__all__ = [
+    "CoverageReport",
+    "analyze_scheme",
+    "fig3_schemes",
+    "fig1_energy_overhead",
+    "fig1_storage_overhead",
+    "fig2_interleaving_energy",
+    "fig3_coverage",
+    "fig5_performance",
+    "fig6_access_breakdown",
+    "fig7_scheme_comparison",
+    "fig8_reliability",
+    "fig8_yield",
+    "build_protected_bank",
+    "build_protected_cache",
+    "TWO_D_L1",
+    "TWO_D_L2",
+    "CodingScheme",
+    "SchemeCost",
+    "l1_schemes",
+    "l2_schemes",
+]

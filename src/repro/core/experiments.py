@@ -1,0 +1,245 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each function regenerates the data series behind one figure of the
+evaluation section using the library's models.  The benchmark harness in
+``benchmarks/`` calls these functions, prints the same rows/series the
+paper reports, and asserts the qualitative relations (who wins, by roughly
+what factor) that define a successful reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cmp import (
+    PROTECTION_SCENARIOS,
+    CmpConfig,
+    fat_cmp_config,
+    lean_cmp_config,
+    compare_protection,
+    simulate,
+)
+from repro.coding import code_overhead, standard_codes
+from repro.errors.rates import PAPER_HARD_ERROR_RATES, PAPER_SOFT_ERROR_RATE
+from repro.reliability import (
+    FieldReliabilityModel,
+    MemoryGeometry,
+    ReliabilityScenario,
+    YieldModel,
+)
+from repro.vlsi import OptimizationTarget, SramArrayModel
+from repro.workloads import PAPER_WORKLOADS
+
+from .coverage import CoverageReport, analyze_scheme, fig3_schemes
+from .schemes import SchemeCost, l1_schemes, l2_schemes
+
+__all__ = [
+    "fig1_storage_overhead",
+    "fig1_energy_overhead",
+    "fig2_interleaving_energy",
+    "fig3_coverage",
+    "fig5_performance",
+    "fig6_access_breakdown",
+    "fig7_scheme_comparison",
+    "fig8_yield",
+    "fig8_reliability",
+]
+
+#: The two array design points used throughout Figs. 1, 2 and 7.
+_L1_WORDS = 64 * 1024 * 8 // 64          # 64kB of 64-bit words
+_L2_WORDS = 4 * 1024 * 1024 * 8 // 256   # 4MB of 256-bit words
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — per-word ECC storage and energy overheads
+# ----------------------------------------------------------------------
+
+def fig1_storage_overhead() -> dict[int, dict[str, float]]:
+    """Extra memory storage (%) per code, for 64-bit and 256-bit words."""
+    results: dict[int, dict[str, float]] = {}
+    for word_bits in (64, 256):
+        results[word_bits] = {
+            name: 100.0 * code_overhead(code).storage_overhead
+            for name, code in standard_codes(word_bits).items()
+        }
+    return results
+
+
+def fig1_energy_overhead() -> dict[str, dict[str, float]]:
+    """Extra energy per read (%) of each code, relative to an unprotected array.
+
+    The two design points match the paper: 64-bit words in a 64kB array
+    and 256-bit words in a 4MB array.
+    """
+    design_points = {
+        "64b word / 64kB array": (64, _L1_WORDS),
+        "256b word / 4MB array": (256, _L2_WORDS),
+    }
+    results: dict[str, dict[str, float]] = {}
+    for label, (word_bits, n_words) in design_points.items():
+        unprotected = SramArrayModel(word_bits, 0, n_words).read_energy()
+        per_code: dict[str, float] = {}
+        for name, code in standard_codes(word_bits).items():
+            overhead = code_overhead(code)
+            protected = SramArrayModel(word_bits, code.check_bits, n_words).read_energy()
+            extra = protected + overhead.coding_energy - unprotected
+            per_code[name] = 100.0 * extra / unprotected
+        results[label] = per_code
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — energy vs physical bit interleaving degree
+# ----------------------------------------------------------------------
+
+def fig2_interleaving_energy(
+    degrees: tuple[int, ...] = (1, 2, 4, 8, 16)
+) -> dict[str, dict[str, list[float]]]:
+    """Normalized read energy vs interleaving degree for the two caches.
+
+    Matches Fig. 2(b)/(c): (72,64) SECDED words in a 64kB cache and
+    (266,256) SECDED words in a 4MB cache, for several Cacti optimization
+    targets.  Each series is normalized to its own 1:1 point.
+    """
+    design_points = {
+        "64kB cache (72,64)": (64, 8, _L1_WORDS),
+        "4MB cache (266,256)": (256, 10, _L2_WORDS),
+    }
+    targets = {
+        "Delay+Area Opt": OptimizationTarget.DELAY_AREA,
+        "Power+Delay+Area Opt": OptimizationTarget.BALANCED,
+        "Power-only Opt": OptimizationTarget.POWER,
+    }
+    results: dict[str, dict[str, list[float]]] = {}
+    for label, (data_bits, check_bits, n_words) in design_points.items():
+        per_target: dict[str, list[float]] = {}
+        for target_label, target in targets.items():
+            series = []
+            for degree in degrees:
+                model = SramArrayModel(
+                    data_bits, check_bits, n_words, interleave_degree=degree,
+                    optimization=target,
+                )
+                series.append(model.read_energy())
+            base = series[0]
+            per_target[target_label] = [value / base for value in series]
+        results[label] = per_target
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — coverage vs storage for the 256x256 example array
+# ----------------------------------------------------------------------
+
+def fig3_coverage() -> dict[str, CoverageReport]:
+    """Coverage and storage overhead of the three Fig. 3 schemes."""
+    return {
+        key: analyze_scheme(scheme, array_rows=256, array_data_columns=256)
+        for key, scheme in fig3_schemes().items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 — CMP performance and access breakdowns
+# ----------------------------------------------------------------------
+
+def _cmp_configs() -> dict[str, CmpConfig]:
+    return {"fat": fat_cmp_config(), "lean": lean_cmp_config()}
+
+
+def fig5_performance(
+    n_cycles: int = 6_000, seed: int = 7
+) -> dict[str, dict[str, dict[str, float]]]:
+    """IPC loss (%) per CMP, workload and protection scenario (Fig. 5)."""
+    scenarios = ("l1", "l1_ps", "l2", "l1_ps_l2")
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for cmp_name, cmp_cfg in _cmp_configs().items():
+        per_workload: dict[str, dict[str, float]] = {}
+        for workload, profile in PAPER_WORKLOADS.items():
+            losses = {}
+            for key in scenarios:
+                comparison = compare_protection(
+                    cmp_cfg, profile, PROTECTION_SCENARIOS[key], n_cycles, seed
+                )
+                losses[key] = comparison.ipc_loss_percent
+            per_workload[workload] = losses
+        results[cmp_name] = per_workload
+    return results
+
+
+def fig6_access_breakdown(
+    n_cycles: int = 6_000, seed: int = 7
+) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
+    """Cache accesses per 100 cycles, broken down as in Fig. 6."""
+    results: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    for cmp_name, cmp_cfg in _cmp_configs().items():
+        per_workload: dict[str, dict[str, dict[str, float]]] = {}
+        for workload, profile in PAPER_WORKLOADS.items():
+            sim = simulate(
+                cmp_cfg, profile, PROTECTION_SCENARIOS["l1_ps_l2"], n_cycles, seed
+            )
+            per_workload[workload] = {
+                "l1": sim.l1_breakdown.as_dict(),
+                "l2": sim.l2_breakdown.as_dict(),
+            }
+        results[cmp_name] = per_workload
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — scheme comparison at equal (32-bit) coverage
+# ----------------------------------------------------------------------
+
+def fig7_scheme_comparison() -> dict[str, dict[str, SchemeCost]]:
+    """Relative code area / coding latency / dynamic power per scheme.
+
+    Values are normalized to SECDED with 2-way interleaving (100 = equal
+    to the baseline), exactly as in Fig. 7.
+    """
+    results: dict[str, dict[str, SchemeCost]] = {}
+    for cache_label, (schemes, n_words) in {
+        "64kB L1 data cache": (l1_schemes(), _L1_WORDS),
+        "4MB L2 cache": (l2_schemes(), _L2_WORDS),
+    }.items():
+        baseline_cost = schemes["baseline"].cost(n_words)
+        results[cache_label] = {
+            key: scheme.cost(n_words).normalized_to(baseline_cost)
+            for key, scheme in schemes.items()
+        }
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — yield and in-the-field reliability
+# ----------------------------------------------------------------------
+
+def fig8_yield(
+    failing_cells: "tuple[int, ...] | range" = tuple(range(0, 4001, 200)),
+) -> dict[str, list[float]]:
+    """Yield of a 16MB L2 cache vs number of failing cells (Fig. 8(a))."""
+    model = YieldModel(MemoryGeometry.l2_16mb())
+    configurations = {
+        "Spare_128": {"ecc": False, "spares": 128},
+        "ECC Only": {"ecc": True, "spares": 0},
+        "ECC + Spare_16": {"ecc": True, "spares": 16},
+        "ECC + Spare_32": {"ecc": True, "spares": 32},
+    }
+    curves = model.sweep(list(failing_cells), configurations)
+    curves["failing_cells"] = [float(n) for n in failing_cells]
+    return curves
+
+
+def fig8_reliability(
+    years: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)
+) -> dict[str, list[float]]:
+    """Probability of successful correction over time (Fig. 8(b))."""
+    model = FieldReliabilityModel(ReliabilityScenario(), PAPER_SOFT_ERROR_RATE)
+    curves: dict[str, list[float]] = {"years": list(years)}
+    curves["With 2D coding"] = model.survival_curve(
+        list(years), PAPER_HARD_ERROR_RATES["0.001%"], with_2d_coding=True
+    )
+    for label, rate in PAPER_HARD_ERROR_RATES.items():
+        curves[f"Without 2D, HER={label}"] = model.survival_curve(
+            list(years), rate, with_2d_coding=False
+        )
+    return curves

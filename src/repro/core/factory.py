@@ -1,0 +1,63 @@
+"""Factories that turn a :class:`CodingScheme` into runnable objects.
+
+These are the main entry points a downstream user touches: describe the
+protection you want (or pick one of the paper's standard configurations)
+and get back a bit-accurate protected bank or a protected cache.
+"""
+
+from __future__ import annotations
+
+from repro.array import BankLayout, TwoDProtectedArray
+from repro.cache import CacheConfig, ProtectedCacheController
+
+from .schemes import CodingScheme
+
+__all__ = ["build_protected_bank", "build_protected_cache"]
+
+
+def build_protected_bank(
+    scheme: CodingScheme, n_words: int, name: str = "bank"
+) -> TwoDProtectedArray:
+    """Build a bit-accurate 2D-protected SRAM bank for ``scheme``.
+
+    ``n_words`` is the number of logical data words the bank stores; it
+    must be a multiple of the scheme's interleave degree and large enough
+    to hold the scheme's vertical parity groups.
+    """
+    if not scheme.is_two_dimensional:
+        raise ValueError(
+            f"scheme {scheme.name!r} has no vertical code; "
+            "build_protected_bank only applies to 2D schemes"
+        )
+    code = scheme.build_horizontal_code()
+    layout = BankLayout(
+        n_words=n_words,
+        data_bits=scheme.data_bits,
+        check_bits=code.check_bits,
+        interleave_degree=scheme.interleave_degree,
+    )
+    return TwoDProtectedArray(
+        layout,
+        code,
+        vertical_groups=scheme.vertical_groups or 32,
+        name=name,
+    )
+
+
+def build_protected_cache(
+    scheme: CodingScheme, cache_config: CacheConfig
+) -> ProtectedCacheController:
+    """Build a functional cache whose data banks use ``scheme``."""
+    if not scheme.is_two_dimensional:
+        raise ValueError(
+            f"scheme {scheme.name!r} has no vertical code; "
+            "use a 2D scheme for the protected cache controller"
+        )
+    code = scheme.build_horizontal_code()
+    return ProtectedCacheController(
+        cache_config,
+        code,
+        word_bits=scheme.data_bits,
+        interleave_degree=scheme.interleave_degree,
+        vertical_groups=scheme.vertical_groups or 32,
+    )

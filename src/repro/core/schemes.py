@@ -1,0 +1,233 @@
+"""Protection scheme descriptions and their composed VLSI costs.
+
+A :class:`CodingScheme` captures one complete way of protecting a cache
+data array — the paper's 2D configurations as well as the conventional
+alternatives it compares against:
+
+* ``2D (EDC8+Intv4, EDC32)``  — the L1 configuration,
+* ``2D (EDC16+Intv2, EDC32)`` — the L2 configuration,
+* ``SECDED+Intv2``            — the normalization baseline of Fig. 7,
+* ``DECTED+Intv16`` / ``QECPED+Intv8`` / ``OECNED+Intv4`` — conventional
+  schemes scaled to the same 32-bit horizontal coverage,
+* ``EDC8+Intv4 (write-through)`` — the L1 alternative that duplicates
+  dirty data in the L2.
+
+For each scheme the class composes check-bit storage, coding latency and
+relative dynamic power from the coding substrate
+(:mod:`repro.coding.overhead`) and the array cost model
+(:mod:`repro.vlsi.cacti`), which is exactly how Fig. 1 and Fig. 7 are
+built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding import code_overhead, make_code
+from repro.coding.base import WordCode
+from repro.vlsi import OptimizationTarget, SramArrayModel
+
+__all__ = ["CodingScheme", "SchemeCost", "l1_schemes", "l2_schemes", "TWO_D_L1", "TWO_D_L2"]
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Composed relative costs of one scheme on one cache (a Fig. 7 group)."""
+
+    name: str
+    code_area: float
+    coding_latency: float
+    dynamic_power: float
+
+    def normalized_to(self, baseline: "SchemeCost") -> "SchemeCost":
+        """Express this cost relative to a baseline scheme (in %, 100 = equal)."""
+        return SchemeCost(
+            name=self.name,
+            code_area=100.0 * self.code_area / baseline.code_area,
+            coding_latency=100.0 * self.coding_latency / baseline.coding_latency,
+            dynamic_power=100.0 * self.dynamic_power / baseline.dynamic_power,
+        )
+
+
+@dataclass(frozen=True)
+class CodingScheme:
+    """One complete cache-protection configuration."""
+
+    name: str
+    horizontal_code: str
+    data_bits: int
+    interleave_degree: int
+    #: Number of vertical parity rows; None for conventional (1D) schemes.
+    vertical_groups: int | None = None
+    #: True for the write-through-L1 alternative that duplicates dirty data
+    #: in the L2 instead of protecting the L1 in place.
+    write_through_duplication: bool = False
+
+    # ------------------------------------------------------------------
+    def build_horizontal_code(self) -> WordCode:
+        """Instantiate the per-word horizontal code."""
+        return make_code(self.horizontal_code, self.data_bits)
+
+    @property
+    def is_two_dimensional(self) -> bool:
+        return self.vertical_groups is not None
+
+    # ------------------------------------------------------------------
+    # coverage
+    # ------------------------------------------------------------------
+    def horizontal_coverage_bits(self) -> int:
+        """Largest contiguous burst along a row that is protected.
+
+        For detection-only horizontal codes in a 2D scheme this is the
+        detection width (correction is the vertical code's job); for
+        conventional ECC schemes it is the correction width, both times the
+        physical interleaving degree.
+        """
+        code = self.build_horizontal_code()
+        per_word = code.detect_bits if self.is_two_dimensional else code.correct_bits
+        return per_word * self.interleave_degree
+
+    def vertical_coverage_rows(self) -> int:
+        """Largest contiguous vertical footprint that is correctable."""
+        if self.vertical_groups is not None:
+            return self.vertical_groups
+        # Conventional schemes correct only within one word; a vertical
+        # stripe touches every row but deposits at most its width per word.
+        code = self.build_horizontal_code()
+        return 0 if code.correct_bits == 0 else 1
+
+    def correctable_cluster(self) -> tuple[int, int]:
+        """Maximum guaranteed-correctable (rows, columns) cluster footprint."""
+        if self.is_two_dimensional:
+            return self.vertical_coverage_rows(), self.horizontal_coverage_bits()
+        code = self.build_horizontal_code()
+        if code.correct_bits == 0:
+            return 0, 0
+        # A conventional scheme corrects the same burst width on every row
+        # independently, so the cluster may span the full column height.
+        return 1, self.horizontal_coverage_bits()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def storage_overhead(self, n_words: int, rows_per_bank: int | None = None) -> float:
+        """Total check storage as a fraction of the data storage.
+
+        Includes the horizontal check bits of every word, the vertical
+        parity rows (for 2D schemes), and full value duplication for the
+        write-through alternative.
+        """
+        code = self.build_horizontal_code()
+        overhead_bits = n_words * code.check_bits
+        data_bits = n_words * self.data_bits
+        if self.vertical_groups is not None:
+            if rows_per_bank is None:
+                rows_per_bank = n_words // self.interleave_degree
+            row_bits = (self.data_bits + code.check_bits) * self.interleave_degree
+            n_banks = max(1, (n_words // self.interleave_degree) // max(rows_per_bank, 1))
+            overhead_bits += self.vertical_groups * row_bits * n_banks
+        if self.write_through_duplication:
+            overhead_bits += data_bits  # dirty data duplicated in the L2
+        return overhead_bits / data_bits
+
+    # ------------------------------------------------------------------
+    # composed relative cost (one bar group of Fig. 7)
+    # ------------------------------------------------------------------
+    def cost(
+        self,
+        n_words: int,
+        extra_read_fraction: float = 0.2,
+        optimization: OptimizationTarget = OptimizationTarget.BALANCED,
+    ) -> SchemeCost:
+        """Relative code area, coding latency and dynamic power.
+
+        ``extra_read_fraction`` is the additional access traffic caused by
+        the vertical-parity read-before-write (the paper assumes 20%, per
+        its Fig. 6 measurement).
+        """
+        code = self.build_horizontal_code()
+        overhead = code_overhead(code)
+
+        array = SramArrayModel(
+            data_bits_per_word=self.data_bits,
+            check_bits_per_word=code.check_bits,
+            n_words=n_words,
+            interleave_degree=self.interleave_degree,
+            optimization=optimization,
+        )
+        access_energy = array.read_energy()
+        coding_energy = overhead.coding_energy
+
+        accesses_per_operation = 1.0
+        if self.is_two_dimensional:
+            accesses_per_operation += extra_read_fraction
+        if self.write_through_duplication:
+            # Every store is written through to (and protected by) the L2:
+            # it pays an additional wide-word access there.
+            accesses_per_operation += 0.5
+
+        dynamic_power = (access_energy + coding_energy) * accesses_per_operation
+        code_area = self.storage_overhead(n_words)
+        coding_latency = float(overhead.coding_latency_levels)
+        if not self.is_two_dimensional and code.correct_bits > 1:
+            # Conventional multi-bit ECC pays its correction latency on the
+            # access path (it is the only correction mechanism).
+            coding_latency += overhead.correction_latency_levels * 0.25
+        return SchemeCost(
+            name=self.name,
+            code_area=code_area,
+            coding_latency=coding_latency,
+            dynamic_power=dynamic_power,
+        )
+
+
+# ----------------------------------------------------------------------
+# The standard scheme sets of Fig. 7
+# ----------------------------------------------------------------------
+
+#: The paper's 2D configuration for 64-bit-word L1 data caches.
+TWO_D_L1 = CodingScheme(
+    name="2D (EDC8+Intv4, EDC32)",
+    horizontal_code="EDC8",
+    data_bits=64,
+    interleave_degree=4,
+    vertical_groups=32,
+)
+
+#: The paper's 2D configuration for 256-bit-word L2 caches.
+TWO_D_L2 = CodingScheme(
+    name="2D (EDC16+Intv2, EDC32)",
+    horizontal_code="EDC16",
+    data_bits=256,
+    interleave_degree=2,
+    vertical_groups=32,
+)
+
+
+def l1_schemes() -> dict[str, CodingScheme]:
+    """The Fig. 7(a) scheme set for a 64kB L1 data cache (64-bit words)."""
+    return {
+        "baseline": CodingScheme("SECDED+Intv2", "SECDED", 64, 2),
+        "2d": TWO_D_L1,
+        "dected": CodingScheme("DECTED+Intv16", "DECTED", 64, 16),
+        "qecped": CodingScheme("QECPED+Intv8", "QECPED", 64, 8),
+        "oecned": CodingScheme("OECNED+Intv4", "OECNED", 64, 4),
+        "write_through": CodingScheme(
+            "EDC8+Intv4 (Wr-through)",
+            "EDC8",
+            64,
+            4,
+            write_through_duplication=True,
+        ),
+    }
+
+
+def l2_schemes() -> dict[str, CodingScheme]:
+    """The Fig. 7(b) scheme set for a 4MB L2 cache (256-bit words)."""
+    return {
+        "baseline": CodingScheme("SECDED+Intv2", "SECDED", 256, 2),
+        "2d": TWO_D_L2,
+        "dected": CodingScheme("DECTED+Intv16", "DECTED", 256, 16),
+        "qecped": CodingScheme("QECPED+Intv8", "QECPED", 256, 8),
+        "oecned": CodingScheme("OECNED+Intv4", "OECNED", 256, 4),
+    }

@@ -1,0 +1,38 @@
+"""Error models: events, rates, fault maps and deterministic injection."""
+
+from .events import (
+    ErrorEvent,
+    ErrorKind,
+    cluster_upset,
+    column_failure,
+    row_failure,
+    single_bit_upset,
+)
+from .injector import ErrorInjector, FootprintDistribution, InjectionTarget
+from .maps import FaultBehavior, FaultMap
+from .rates import (
+    HOURS_PER_YEAR,
+    PAPER_HARD_ERROR_RATES,
+    PAPER_SOFT_ERROR_RATE,
+    HardErrorRate,
+    SoftErrorRate,
+)
+
+__all__ = [
+    "ErrorEvent",
+    "ErrorKind",
+    "cluster_upset",
+    "column_failure",
+    "row_failure",
+    "single_bit_upset",
+    "ErrorInjector",
+    "FootprintDistribution",
+    "InjectionTarget",
+    "FaultBehavior",
+    "FaultMap",
+    "HOURS_PER_YEAR",
+    "PAPER_HARD_ERROR_RATES",
+    "PAPER_SOFT_ERROR_RATE",
+    "HardErrorRate",
+    "SoftErrorRate",
+]

@@ -1,0 +1,162 @@
+"""Error event models: what can go wrong in an SRAM array.
+
+The paper distinguishes:
+
+* **Soft (transient) errors** — particle strikes, noise.  Most events
+  upset a single cell, but the single-event multi-bit upset rate grows
+  with scaling; observed footprints range from small clusters to entire
+  rows/columns (up to 16-bit corruptions in one dimension already seen in
+  real SRAMs).
+* **Hard (permanent) errors** — manufacture-time defects (mostly
+  single-cell) and in-the-field wear-out, which may take out cells, rows,
+  columns, or whole sub-arrays.
+
+An :class:`ErrorEvent` describes a set of (row, column) cell coordinates
+to flip (soft) or to mark stuck (hard).  Factories build the canonical
+footprints used throughout the evaluation: single-bit upsets, rectangular
+clusters, row failures and column failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ErrorKind",
+    "ErrorEvent",
+    "single_bit_upset",
+    "cluster_upset",
+    "row_failure",
+    "column_failure",
+]
+
+
+class ErrorKind(enum.Enum):
+    """Persistence class of an error event."""
+
+    #: Transient bit flips; a rewrite of the cell restores correct operation.
+    SOFT = "soft"
+    #: Permanent faults; the affected cells return corrupted data until the
+    #: address is repaired (spares) or the fault is masked by coding.
+    HARD = "hard"
+
+
+@dataclass(frozen=True)
+class ErrorEvent:
+    """A single error event affecting a set of physical cells.
+
+    Attributes
+    ----------
+    kind:
+        Soft (transient flip) or hard (permanent fault).
+    cells:
+        Tuple of ``(row, column)`` physical coordinates affected.
+    label:
+        Human-readable description used in reports ("SBU", "4x4 cluster",
+        "row failure", ...).
+    """
+
+    kind: ErrorKind
+    cells: tuple[tuple[int, int], ...]
+    label: str = "error"
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("an error event must affect at least one cell")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of affected cells."""
+        return len(self.cells)
+
+    @property
+    def rows(self) -> tuple[int, ...]:
+        return tuple(sorted({r for r, _ in self.cells}))
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return tuple(sorted({c for _, c in self.cells}))
+
+    @property
+    def row_span(self) -> int:
+        """Number of distinct rows touched (vertical footprint)."""
+        rows = self.rows
+        return rows[-1] - rows[0] + 1
+
+    @property
+    def column_span(self) -> int:
+        """Number of distinct columns touched (horizontal footprint)."""
+        cols = self.columns
+        return cols[-1] - cols[0] + 1
+
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """Return ``(row_min, col_min, row_max, col_max)``."""
+        rows = self.rows
+        cols = self.columns
+        return rows[0], cols[0], rows[-1], cols[-1]
+
+    def shifted(self, row_offset: int, col_offset: int) -> "ErrorEvent":
+        """Return a copy of the event translated by the given offsets."""
+        return ErrorEvent(
+            kind=self.kind,
+            cells=tuple((r + row_offset, c + col_offset) for r, c in self.cells),
+            label=self.label,
+        )
+
+
+# ----------------------------------------------------------------------
+# canonical footprints
+# ----------------------------------------------------------------------
+
+def single_bit_upset(row: int, column: int, kind: ErrorKind = ErrorKind.SOFT) -> ErrorEvent:
+    """A single-cell upset at the given coordinates."""
+    return ErrorEvent(kind=kind, cells=((row, column),), label="SBU")
+
+
+def cluster_upset(
+    row: int,
+    column: int,
+    height: int,
+    width: int,
+    kind: ErrorKind = ErrorKind.SOFT,
+) -> ErrorEvent:
+    """A dense rectangular multi-bit upset of ``height`` x ``width`` cells.
+
+    ``(row, column)`` is the top-left corner.  This is the footprint the
+    paper's coverage claims are phrased in ("clustered errors up to 32x32
+    bits").
+    """
+    if height < 1 or width < 1:
+        raise ValueError("cluster dimensions must be at least 1x1")
+    cells = tuple(
+        (row + dr, column + dc) for dr in range(height) for dc in range(width)
+    )
+    return ErrorEvent(kind=kind, cells=cells, label=f"{height}x{width} cluster")
+
+
+def row_failure(
+    row: int, n_columns: int, kind: ErrorKind = ErrorKind.HARD
+) -> ErrorEvent:
+    """Failure of an entire physical row (all ``n_columns`` cells)."""
+    if n_columns < 1:
+        raise ValueError("a row must have at least one column")
+    return ErrorEvent(
+        kind=kind,
+        cells=tuple((row, c) for c in range(n_columns)),
+        label="row failure",
+    )
+
+
+def column_failure(
+    column: int, n_rows: int, kind: ErrorKind = ErrorKind.HARD
+) -> ErrorEvent:
+    """Failure of an entire physical column (all ``n_rows`` cells)."""
+    if n_rows < 1:
+        raise ValueError("a column must have at least one row")
+    return ErrorEvent(
+        kind=kind,
+        cells=tuple((r, column) for r in range(n_rows)),
+        label="column failure",
+    )

@@ -1,0 +1,194 @@
+"""Deterministic, seeded error injection.
+
+The injector draws error events (footprint shape, size and placement)
+from configurable distributions and applies them to anything exposing the
+small "injectable" protocol: a ``rows`` x ``columns`` geometry plus a
+``flip_cell(row, column)`` method (soft errors) and a
+``mark_faulty(row, column)`` method (hard errors).  Both
+:class:`repro.array.sram.SramArray` and the 2D-protected array implement
+it.
+
+All randomness flows through a ``numpy.random.Generator`` so experiments
+are reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from .events import (
+    ErrorEvent,
+    ErrorKind,
+    cluster_upset,
+    column_failure,
+    row_failure,
+    single_bit_upset,
+)
+
+__all__ = ["InjectionTarget", "ErrorInjector", "FootprintDistribution"]
+
+
+class InjectionTarget(Protocol):
+    """Protocol for anything errors can be injected into."""
+
+    @property
+    def rows(self) -> int: ...
+
+    @property
+    def columns(self) -> int: ...
+
+    def flip_cell(self, row: int, column: int) -> None: ...
+
+    def mark_faulty(self, row: int, column: int) -> None: ...
+
+
+@dataclass(frozen=True)
+class FootprintDistribution:
+    """Distribution over multi-bit error footprints.
+
+    Each entry maps a ``(height, width)`` footprint to a relative weight.
+    ``(1, 1)`` is a single-bit upset.  Entries with height equal to the
+    target's row count model column failures; width equal to the column
+    count models row failures.
+    """
+
+    weights: dict[tuple[int, int], float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("footprint distribution must not be empty")
+        for (h, w), weight in self.weights.items():
+            if h < 1 or w < 1:
+                raise ValueError(f"invalid footprint {(h, w)}")
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+        if sum(self.weights.values()) <= 0:
+            raise ValueError("at least one footprint needs positive weight")
+
+    @classmethod
+    def mostly_single_bit(cls, multi_bit_fraction: float = 0.1) -> "FootprintDistribution":
+        """A distribution dominated by SBUs with a tail of small clusters.
+
+        Mirrors the paper's observation that today most events are
+        single-bit but a growing fraction are multi-bit.
+        """
+        if not 0 <= multi_bit_fraction <= 1:
+            raise ValueError("multi_bit_fraction must be in [0, 1]")
+        single = 1.0 - multi_bit_fraction
+        tail = multi_bit_fraction
+        return cls(
+            weights={
+                (1, 1): single,
+                (1, 2): tail * 0.4,
+                (2, 2): tail * 0.3,
+                (1, 4): tail * 0.15,
+                (4, 4): tail * 0.1,
+                (8, 8): tail * 0.05,
+            }
+        )
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Draw one footprint ``(height, width)``."""
+        footprints = list(self.weights.keys())
+        weights = np.array([self.weights[f] for f in footprints], dtype=float)
+        weights /= weights.sum()
+        index = rng.choice(len(footprints), p=weights)
+        return footprints[index]
+
+
+class ErrorInjector:
+    """Applies randomly placed error events to an injection target."""
+
+    def __init__(self, target: InjectionTarget, seed: int | None = None):
+        self._target = target
+        self._rng = np.random.default_rng(seed)
+        self._history: list[ErrorEvent] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> tuple[ErrorEvent, ...]:
+        """All events injected so far, in order."""
+        return tuple(self._history)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    # ------------------------------------------------------------------
+    def apply(self, event: ErrorEvent) -> ErrorEvent:
+        """Apply a fully specified event to the target."""
+        for row, column in event.cells:
+            if not (0 <= row < self._target.rows and 0 <= column < self._target.columns):
+                raise ValueError(
+                    f"cell {(row, column)} outside target "
+                    f"{self._target.rows}x{self._target.columns}"
+                )
+            if event.kind is ErrorKind.SOFT:
+                self._target.flip_cell(row, column)
+            else:
+                self._target.mark_faulty(row, column)
+        self._history.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def inject_single_bit(self, kind: ErrorKind = ErrorKind.SOFT) -> ErrorEvent:
+        """Inject one uniformly placed single-bit upset."""
+        row = int(self._rng.integers(0, self._target.rows))
+        column = int(self._rng.integers(0, self._target.columns))
+        return self.apply(single_bit_upset(row, column, kind=kind))
+
+    def inject_cluster(
+        self, height: int, width: int, kind: ErrorKind = ErrorKind.SOFT
+    ) -> ErrorEvent:
+        """Inject a ``height`` x ``width`` cluster at a uniform position."""
+        if height > self._target.rows or width > self._target.columns:
+            raise ValueError("cluster does not fit in the target")
+        row = int(self._rng.integers(0, self._target.rows - height + 1))
+        column = int(self._rng.integers(0, self._target.columns - width + 1))
+        return self.apply(cluster_upset(row, column, height, width, kind=kind))
+
+    def inject_row_failure(self, kind: ErrorKind = ErrorKind.HARD) -> ErrorEvent:
+        """Fail one uniformly chosen physical row."""
+        row = int(self._rng.integers(0, self._target.rows))
+        return self.apply(row_failure(row, self._target.columns, kind=kind))
+
+    def inject_column_failure(self, kind: ErrorKind = ErrorKind.HARD) -> ErrorEvent:
+        """Fail one uniformly chosen physical column."""
+        column = int(self._rng.integers(0, self._target.columns))
+        return self.apply(column_failure(column, self._target.rows, kind=kind))
+
+    def inject_from_distribution(
+        self,
+        distribution: FootprintDistribution,
+        count: int = 1,
+        kind: ErrorKind = ErrorKind.SOFT,
+    ) -> list[ErrorEvent]:
+        """Inject ``count`` events with footprints drawn from ``distribution``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        events = []
+        for _ in range(count):
+            height, width = distribution.sample(self._rng)
+            height = min(height, self._target.rows)
+            width = min(width, self._target.columns)
+            events.append(self.inject_cluster(height, width, kind=kind))
+        return events
+
+    def inject_random_hard_faults(self, probability: float) -> list[ErrorEvent]:
+        """Mark each cell faulty independently with the given probability.
+
+        This is the manufacture-time defect model used by the yield
+        analysis: faults land uniformly at random across the array.
+        """
+        if not 0 <= probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        mask = self._rng.random((self._target.rows, self._target.columns)) < probability
+        events = []
+        for row, column in zip(*np.nonzero(mask)):
+            events.append(
+                self.apply(single_bit_upset(int(row), int(column), kind=ErrorKind.HARD))
+            )
+        return events

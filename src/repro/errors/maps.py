@@ -1,0 +1,133 @@
+"""Fault maps: bookkeeping of permanent (hard) faults in an array.
+
+A :class:`FaultMap` records which physical cells of an array are
+permanently faulty and how each faulty cell misbehaves (stuck-at-0,
+stuck-at-1, or flips the stored value).  The SRAM array model consults it
+on every read so hard errors keep re-appearing after rewrites — the
+property that distinguishes them from soft errors and that drives the
+yield/reliability analysis of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultBehavior", "FaultMap"]
+
+
+class FaultBehavior(enum.Enum):
+    """How a permanently faulty cell corrupts reads."""
+
+    STUCK_AT_0 = "stuck_at_0"
+    STUCK_AT_1 = "stuck_at_1"
+    #: The cell returns the complement of whatever was last written.
+    INVERT = "invert"
+
+
+@dataclass(frozen=True)
+class _Fault:
+    row: int
+    column: int
+    behavior: FaultBehavior
+
+
+class FaultMap:
+    """Sparse map of permanently faulty cells for a rows x columns array."""
+
+    def __init__(self, rows: int, columns: int):
+        if rows < 1 or columns < 1:
+            raise ValueError("fault map dimensions must be positive")
+        self._rows = rows
+        self._columns = columns
+        self._faults: dict[tuple[int, int], FaultBehavior] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def columns(self) -> int:
+        return self._columns
+
+    @property
+    def fault_count(self) -> int:
+        """Number of permanently faulty cells."""
+        return len(self._faults)
+
+    def __contains__(self, cell: tuple[int, int]) -> bool:
+        return cell in self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        row: int,
+        column: int,
+        behavior: FaultBehavior = FaultBehavior.INVERT,
+    ) -> None:
+        """Mark a cell permanently faulty."""
+        self._check_bounds(row, column)
+        self._faults[(row, column)] = behavior
+
+    def remove(self, row: int, column: int) -> None:
+        """Clear a fault (e.g. after the address is remapped to a spare)."""
+        self._faults.pop((row, column), None)
+
+    def clear(self) -> None:
+        self._faults.clear()
+
+    def behavior_at(self, row: int, column: int) -> FaultBehavior | None:
+        """Behavior of the fault at a cell, or None when the cell is good."""
+        return self._faults.get((row, column))
+
+    def faulty_cells(self) -> tuple[tuple[int, int], ...]:
+        """All faulty cell coordinates, sorted."""
+        return tuple(sorted(self._faults))
+
+    def faults_in_row(self, row: int) -> tuple[int, ...]:
+        """Columns of faulty cells in a given physical row."""
+        return tuple(sorted(c for (r, c) in self._faults if r == row))
+
+    def faults_in_column(self, column: int) -> tuple[int, ...]:
+        """Rows of faulty cells in a given physical column."""
+        return tuple(sorted(r for (r, c) in self._faults if c == column))
+
+    # ------------------------------------------------------------------
+    def corrupt_row(self, row: int, stored: np.ndarray) -> np.ndarray:
+        """Apply the row's faults to the stored bits, returning what a read sees."""
+        self._check_row(row)
+        if stored.size != self._columns:
+            raise ValueError("stored row width does not match the fault map")
+        observed = stored.copy()
+        for column in self.faults_in_row(row):
+            behavior = self._faults[(row, column)]
+            if behavior is FaultBehavior.STUCK_AT_0:
+                observed[column] = 0
+            elif behavior is FaultBehavior.STUCK_AT_1:
+                observed[column] = 1
+            else:
+                observed[column] ^= 1
+        return observed
+
+    def as_matrix(self) -> np.ndarray:
+        """Dense boolean matrix of faulty cells (True = faulty)."""
+        matrix = np.zeros((self._rows, self._columns), dtype=bool)
+        for row, column in self._faults:
+            matrix[row, column] = True
+        return matrix
+
+    # ------------------------------------------------------------------
+    def _check_bounds(self, row: int, column: int) -> None:
+        self._check_row(row)
+        if not 0 <= column < self._columns:
+            raise ValueError(f"column {column} out of range [0, {self._columns})")
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._rows:
+            raise ValueError(f"row {row} out of range [0, {self._rows})")

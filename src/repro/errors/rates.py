@@ -1,0 +1,100 @@
+"""Error-rate models: soft-error FIT rates and hard-error rates.
+
+The paper's reliability analysis (Section 5.2, Fig. 8) uses two inputs:
+
+* a soft error rate of **1000 FIT/Mb** (failures in 10^9 device-hours per
+  megabit), taken from Slayman [43], and
+* a manufacture-time hard error rate (HER) expressed as the probability
+  that an individual cell is faulty, swept from **0.0005% to 0.005%**
+  (5e-6 to 5e-5 per bit).
+
+This module turns those constants into the quantities the models need:
+expected soft-error counts over an operating interval, and expected
+faulty-cell counts for a given capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SoftErrorRate",
+    "HardErrorRate",
+    "PAPER_SOFT_ERROR_RATE",
+    "PAPER_HARD_ERROR_RATES",
+    "HOURS_PER_YEAR",
+]
+
+#: Hours in a (non-leap) year, used to convert FIT to per-year rates.
+HOURS_PER_YEAR = 24 * 365
+
+#: One megabit, the FIT normalization unit.
+_BITS_PER_MEGABIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class SoftErrorRate:
+    """Soft error rate expressed in FIT per megabit.
+
+    1 FIT = one failure per 10^9 device-hours.
+    """
+
+    fit_per_mbit: float
+
+    def __post_init__(self) -> None:
+        if self.fit_per_mbit < 0:
+            raise ValueError("FIT rate must be non-negative")
+
+    def events_per_hour(self, capacity_bits: int) -> float:
+        """Expected soft-error events per hour for ``capacity_bits`` of SRAM."""
+        if capacity_bits < 0:
+            raise ValueError("capacity must be non-negative")
+        megabits = capacity_bits / _BITS_PER_MEGABIT
+        return self.fit_per_mbit * megabits / 1e9
+
+    def events_per_year(self, capacity_bits: int) -> float:
+        """Expected soft-error events per year of operation."""
+        return self.events_per_hour(capacity_bits) * HOURS_PER_YEAR
+
+    def expected_events(self, capacity_bits: int, years: float) -> float:
+        """Expected soft-error events over ``years`` of operation."""
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        return self.events_per_year(capacity_bits) * years
+
+
+@dataclass(frozen=True)
+class HardErrorRate:
+    """Per-cell probability of a manufacture-time (or accumulated) hard fault."""
+
+    per_bit_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.per_bit_probability <= 1.0:
+            raise ValueError("per-bit probability must be in [0, 1]")
+
+    @classmethod
+    def from_percent(cls, percent: float) -> "HardErrorRate":
+        """Build from the percentage notation the paper uses (e.g. 0.001%)."""
+        return cls(percent / 100.0)
+
+    @property
+    def percent(self) -> float:
+        return self.per_bit_probability * 100.0
+
+    def expected_faulty_cells(self, capacity_bits: int) -> float:
+        """Expected number of faulty cells in ``capacity_bits`` of SRAM."""
+        if capacity_bits < 0:
+            raise ValueError("capacity must be non-negative")
+        return self.per_bit_probability * capacity_bits
+
+
+#: The soft error rate assumed throughout the paper's Section 5.2.
+PAPER_SOFT_ERROR_RATE = SoftErrorRate(fit_per_mbit=1000.0)
+
+#: The three hard error rates swept in Fig. 8(b).
+PAPER_HARD_ERROR_RATES = {
+    "0.0005%": HardErrorRate.from_percent(0.0005),
+    "0.001%": HardErrorRate.from_percent(0.001),
+    "0.005%": HardErrorRate.from_percent(0.005),
+}

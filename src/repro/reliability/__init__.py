@@ -1,0 +1,11 @@
+"""Yield and in-the-field reliability models (Section 5.2 of the paper)."""
+
+from .field_reliability import FieldReliabilityModel, ReliabilityScenario
+from .yield_model import MemoryGeometry, YieldModel
+
+__all__ = [
+    "FieldReliabilityModel",
+    "ReliabilityScenario",
+    "MemoryGeometry",
+    "YieldModel",
+]

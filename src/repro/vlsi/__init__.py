@@ -1,0 +1,12 @@
+"""Cacti-like analytical VLSI cost models (area, delay, dynamic energy)."""
+
+from .cacti import ArrayOrganization, OptimizationTarget, SramArrayModel
+from .technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+__all__ = [
+    "ArrayOrganization",
+    "OptimizationTarget",
+    "SramArrayModel",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyParameters",
+]

@@ -1,0 +1,192 @@
+"""Analytical SRAM array cost model (a Cacti-4.0 stand-in).
+
+The paper uses a modified Cacti 4.0 to quantify how physical bit
+interleaving and stronger codes change dynamic read energy, area and
+delay.  Cacti itself is a large C program we cannot ship here, so this
+module provides an analytical model that keeps the structural drivers
+Cacti captures:
+
+* **Wordline energy** grows with the width of the activated row segment,
+  which is the codeword width times the interleaving degree unless the
+  design pays for divided (segmented) wordlines.
+* **Bitline + sense energy** grows with the number of columns activated
+  per access and with the bitline segment height.
+* **Sense-amp sharing** is what makes interleaving attractive for layout,
+  but every additional interleaved word pseudo-reads its columns on each
+  access — the power cost the paper's Figure 2 quantifies.
+* **Optimization targets** (delay-optimal, power-optimal, balanced) trade
+  wordline/bitline segmentation against area and delay, with large,
+  wide-word arrays having much less room to optimize (the 4MB L2 case).
+
+All outputs are relative units; every use in the benchmarks normalizes to
+a baseline configuration, matching the paper's presentation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+__all__ = ["OptimizationTarget", "ArrayOrganization", "SramArrayModel"]
+
+
+class OptimizationTarget(enum.Enum):
+    """Cacti-style design-space optimization objective."""
+
+    DELAY = "delay"
+    DELAY_AREA = "delay_area"
+    BALANCED = "power_delay_area"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """Resolved physical organization of one SRAM bank."""
+
+    rows: int
+    physical_columns: int
+    wordline_segments: int
+    bitline_segment_rows: int
+
+    @property
+    def activated_columns(self) -> int:
+        """Columns activated (and sensed) on one access."""
+        return max(1, self.physical_columns // self.wordline_segments)
+
+
+class SramArrayModel:
+    """Relative energy/area/delay model of one SRAM bank.
+
+    Parameters
+    ----------
+    data_bits_per_word:
+        Logical data word width (64 for the L1, 256 for the L2 studies).
+    check_bits_per_word:
+        Stored check bits per word (0 for an unprotected array).
+    n_words:
+        Number of logical words in the bank.
+    interleave_degree:
+        Physical bit interleaving degree ``D``.
+    optimization:
+        Cacti-style optimization target.
+    technology:
+        Relative technology weights.
+    """
+
+    #: Wordline segmentation is only practical for small banks; large,
+    #: wide-word banks (the 4MB L2 case) are already divided into many
+    #: banks and cannot afford divided wordlines on top (this is what makes
+    #: the 4MB curves in Fig. 2(c) steep for every optimization target).
+    _MAX_SEGMENTABLE_BANK_BITS = 2 * 1024 * 1024
+
+    def __init__(
+        self,
+        data_bits_per_word: int,
+        check_bits_per_word: int,
+        n_words: int,
+        interleave_degree: int = 1,
+        optimization: OptimizationTarget = OptimizationTarget.DELAY_AREA,
+        technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+    ):
+        if data_bits_per_word < 1 or check_bits_per_word < 0 or n_words < 1:
+            raise ValueError("invalid word geometry")
+        if interleave_degree < 1:
+            raise ValueError("interleave_degree must be >= 1")
+        if n_words % interleave_degree:
+            raise ValueError("n_words must be a multiple of the interleave degree")
+        self.data_bits = data_bits_per_word
+        self.check_bits = check_bits_per_word
+        self.n_words = n_words
+        self.interleave = interleave_degree
+        self.optimization = optimization
+        self.tech = technology
+        self.organization = self._organize()
+
+    # ------------------------------------------------------------------
+    @property
+    def codeword_bits(self) -> int:
+        return self.data_bits + self.check_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.n_words * self.codeword_bits
+
+    # ------------------------------------------------------------------
+    def _organize(self) -> ArrayOrganization:
+        rows = self.n_words // self.interleave
+        physical_columns = self.codeword_bits * self.interleave
+
+        segmentable = self.capacity_bits <= self._MAX_SEGMENTABLE_BANK_BITS
+        if self.optimization is OptimizationTarget.POWER:
+            wordline_segments = min(self.interleave, 4) if segmentable else 1
+            target_height = 32
+        elif self.optimization is OptimizationTarget.BALANCED:
+            wordline_segments = min(self.interleave, 2) if segmentable else 1
+            target_height = 64
+        else:  # DELAY or DELAY_AREA
+            wordline_segments = 1
+            target_height = 128
+        bitline_segment_rows = min(rows, target_height)
+        return ArrayOrganization(
+            rows=rows,
+            physical_columns=physical_columns,
+            wordline_segments=wordline_segments,
+            bitline_segment_rows=bitline_segment_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # energy
+    # ------------------------------------------------------------------
+    def read_energy(self) -> float:
+        """Relative dynamic energy of one read access."""
+        tech = self.tech
+        org = self.organization
+        activated = org.activated_columns
+
+        wordline = tech.wordline_energy_per_cell * activated
+        bitline = tech.bitline_energy_per_cell * org.bitline_segment_rows * activated
+        sense = tech.sense_energy_per_column * activated
+        output = tech.output_energy_per_bit * self.codeword_bits
+        decoder = tech.decoder_energy_per_level * math.log2(max(org.rows, 2))
+        return wordline + bitline + sense + output + decoder
+
+    def write_energy(self) -> float:
+        """Relative dynamic energy of one write access (modelled equal to a
+        read, as the paper assumes in its Fig. 7 power estimates)."""
+        return self.read_energy()
+
+    # ------------------------------------------------------------------
+    # area
+    # ------------------------------------------------------------------
+    def area(self) -> float:
+        """Relative area of the bank (cells + column I/O + segmentation)."""
+        tech = self.tech
+        org = self.organization
+        cell_area = tech.cell_area * self.capacity_bits
+        # One column-I/O circuit is shared by `interleave` physical columns.
+        io_circuits = org.physical_columns / max(self.interleave, 1)
+        io_area = tech.column_io_area * io_circuits
+        # Each additional wordline segment duplicates local decode drivers.
+        segmentation_area = 0.02 * cell_area * (org.wordline_segments - 1)
+        # Additional bitline segmentation duplicates sense/precharge strips.
+        n_bitline_segments = max(1, org.rows // org.bitline_segment_rows)
+        segmentation_area += tech.column_io_area * org.physical_columns * 0.1 * (
+            n_bitline_segments - 1
+        ) / max(self.interleave, 1)
+        return cell_area + io_area + segmentation_area
+
+    # ------------------------------------------------------------------
+    # delay
+    # ------------------------------------------------------------------
+    def access_delay(self) -> float:
+        """Relative access (read hit) delay of the bank."""
+        tech = self.tech
+        org = self.organization
+        decoder = tech.gate_delay * math.log2(max(org.rows, 2))
+        wordline = tech.wordline_delay_per_cell * org.activated_columns
+        bitline = tech.bitline_delay_per_cell * org.bitline_segment_rows
+        sense_and_mux = tech.gate_delay * (2 + math.log2(max(self.interleave, 2)))
+        return decoder + wordline + bitline + sense_and_mux

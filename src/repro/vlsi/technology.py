@@ -1,0 +1,63 @@
+"""Technology constants for the analytical SRAM cost model.
+
+The paper models its caches with a modified Cacti 4.0 at a 70nm process.
+Absolute joules/mm²/ps are irrelevant for the reproduction — every figure
+normalizes against a baseline configuration — so the constants below are
+*relative* weights chosen to preserve the structural relationships Cacti
+captures: wordline energy grows with row width, bitline energy with the
+number of activated columns and their height, sense amps and I/O with the
+bits actually read, and decoder/peripheral energy roughly with the log of
+the array dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParameters", "DEFAULT_TECHNOLOGY"]
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Relative energy/area/delay weights of SRAM structures.
+
+    The defaults approximate the 70nm design point used in the paper; they
+    are deliberately simple, dimensionless weights (per cell, per column,
+    per bit, ...) rather than calibrated physical constants.
+    """
+
+    #: Energy to swing one cell's wordline segment (per cell on the row).
+    wordline_energy_per_cell: float = 1.0
+    #: Energy to (dis)charge one bitline segment (per activated column, per
+    #: cell of segment height).
+    bitline_energy_per_cell: float = 0.02
+    #: Energy per sense amplifier activation (per column sensed).
+    sense_energy_per_column: float = 4.0
+    #: Energy per bit driven through the column mux / output drivers.
+    #: This (together with the decoder term) is the access energy component
+    #: that does not scale with the interleaving degree, and it is what
+    #: keeps the Fig. 2 ratios in the single digits.
+    output_energy_per_bit: float = 10.0
+    #: Energy per 2-input XOR in the code logic.
+    xor_gate_energy: float = 0.15
+    #: Decoder + control overhead per access, per log2(rows).
+    decoder_energy_per_level: float = 1.5
+
+    #: Area of one SRAM cell (arbitrary units).
+    cell_area: float = 1.0
+    #: Area of one sense-amp / write-driver column circuit, expressed in
+    #: cell areas; shared by ``interleave`` columns when bit-interleaved.
+    column_io_area: float = 12.0
+    #: Area of one 2-input XOR, in cell areas.
+    xor_gate_area: float = 3.0
+
+    #: Delay of one 2-input XOR/logic level (arbitrary units).
+    gate_delay: float = 1.0
+    #: Wire delay per cell pitch along a wordline.
+    wordline_delay_per_cell: float = 0.01
+    #: Delay per cell pitch along a bitline segment.
+    bitline_delay_per_cell: float = 0.02
+
+
+#: Shared default technology point (the paper's 70nm assumption).
+DEFAULT_TECHNOLOGY = TechnologyParameters()

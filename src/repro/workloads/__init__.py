@@ -1,0 +1,17 @@
+"""Workload characterization and synthetic trace generation."""
+
+from .profiles import PAPER_WORKLOADS, WorkloadProfile, get_profile, workload_names
+from .synthetic import LocalityModel, TraceGenerator
+from .trace import AccessType, MemoryAccess, Trace
+
+__all__ = [
+    "PAPER_WORKLOADS",
+    "WorkloadProfile",
+    "get_profile",
+    "workload_names",
+    "LocalityModel",
+    "TraceGenerator",
+    "AccessType",
+    "MemoryAccess",
+    "Trace",
+]

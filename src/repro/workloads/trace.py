@@ -1,0 +1,81 @@
+"""Memory access traces: the record format shared by generators and models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["AccessType", "MemoryAccess", "Trace"]
+
+
+class AccessType(enum.Enum):
+    """Kind of cache access an instruction stream produces."""
+
+    INST_READ = "inst_read"
+    DATA_READ = "data_read"
+    DATA_WRITE = "data_write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.DATA_WRITE
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory access issued by a core.
+
+    Attributes
+    ----------
+    cycle:
+        Issue cycle of the access (relative to the start of the trace).
+    core:
+        Issuing core index.
+    kind:
+        Instruction read, data read or data write.
+    address:
+        Byte address (block-aligned addresses are fine for cache studies).
+    thread:
+        Hardware thread within the core (relevant for the lean CMP).
+    """
+
+    cycle: int
+    core: int
+    kind: AccessType
+    address: int
+    thread: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0 or self.core < 0 or self.address < 0 or self.thread < 0:
+            raise ValueError("trace fields must be non-negative")
+
+
+class Trace:
+    """A finite sequence of memory accesses ordered by cycle."""
+
+    def __init__(self, accesses: Iterable[MemoryAccess]):
+        self._accesses = sorted(accesses, key=lambda a: a.cycle)
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self._accesses)
+
+    def __getitem__(self, index: int) -> MemoryAccess:
+        return self._accesses[index]
+
+    @property
+    def duration(self) -> int:
+        """Number of cycles spanned by the trace (last cycle + 1)."""
+        return self._accesses[-1].cycle + 1 if self._accesses else 0
+
+    def for_core(self, core: int) -> "Trace":
+        """Sub-trace containing only one core's accesses."""
+        return Trace(a for a in self._accesses if a.core == core)
+
+    def counts_by_kind(self) -> dict[AccessType, int]:
+        counts = {kind: 0 for kind in AccessType}
+        for access in self._accesses:
+            counts[access.kind] += 1
+        return counts

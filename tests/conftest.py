@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import BankLayout, TwoDProtectedArray
+from repro.coding import InterleavedParityCode, SecdedCode
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need random data."""
+    return np.random.default_rng(12345)
+
+
+def build_bank(
+    horizontal: str = "EDC8",
+    rows: int = 64,
+    interleave: int = 4,
+    vertical_groups: int = 32,
+    data_bits: int = 64,
+) -> TwoDProtectedArray:
+    """Construct a small 2D-protected bank for tests."""
+    if horizontal == "EDC8":
+        code = InterleavedParityCode(data_bits, 8)
+    elif horizontal == "SECDED":
+        code = SecdedCode(data_bits)
+    else:
+        raise ValueError(f"unsupported test code {horizontal}")
+    layout = BankLayout(
+        n_words=rows * interleave,
+        data_bits=data_bits,
+        check_bits=code.check_bits,
+        interleave_degree=interleave,
+    )
+    return TwoDProtectedArray(layout, code, vertical_groups=vertical_groups)
+
+
+def fill_random(bank: TwoDProtectedArray, rng: np.random.Generator) -> dict[int, np.ndarray]:
+    """Write random data into every word of a bank; returns the reference."""
+    reference = {}
+    for word in range(bank.layout.n_words):
+        data = rng.integers(0, 2, bank.layout.data_bits, dtype=np.uint8)
+        reference[word] = data
+        bank.write_word(word, data)
+    return reference
+
+
+@pytest.fixture
+def small_edc8_bank(rng) -> tuple[TwoDProtectedArray, dict[int, np.ndarray]]:
+    """A 64-row EDC8+Intv4 bank pre-filled with random data."""
+    bank = build_bank("EDC8", rows=64)
+    return bank, fill_random(bank, rng)
+
+
+@pytest.fixture
+def small_secded_bank(rng) -> tuple[TwoDProtectedArray, dict[int, np.ndarray]]:
+    """A 64-row SECDED+Intv4 bank pre-filled with random data."""
+    bank = build_bank("SECDED", rows=64)
+    return bank, fill_random(bank, rng)

@@ -1,0 +1,125 @@
+"""Tests for the raw SRAM array, bank layout and spare-row repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import BankLayout, SpareRowRepair, SramArray
+from repro.errors import FaultBehavior
+
+
+class TestSramArray:
+    def test_write_read_row(self, rng):
+        array = SramArray(16, 32)
+        row = rng.integers(0, 2, 32, dtype=np.uint8)
+        array.write_row(3, row)
+        assert np.array_equal(array.read_row(3), row)
+
+    def test_partial_word_write(self, rng):
+        array = SramArray(8, 64)
+        columns = np.arange(0, 64, 4)
+        bits = rng.integers(0, 2, columns.size, dtype=np.uint8)
+        array.write_bits(2, columns, bits)
+        assert np.array_equal(array.read_bits(2, columns), bits)
+
+    def test_flip_cell(self):
+        array = SramArray(4, 4)
+        array.flip_cell(1, 2)
+        assert array.read_row(1)[2] == 1
+        array.flip_cell(1, 2)
+        assert array.read_row(1)[2] == 0
+
+    def test_hard_fault_corrupts_reads_persistently(self):
+        array = SramArray(4, 8)
+        array.mark_faulty(0, 3, FaultBehavior.STUCK_AT_1)
+        assert array.read_row(0)[3] == 1
+        array.write_row(0, np.zeros(8, dtype=np.uint8))
+        assert array.read_row(0)[3] == 1  # rewrite cannot fix a hard fault
+
+    def test_counters(self):
+        array = SramArray(4, 8)
+        array.read_row(0)
+        array.write_row(1, np.zeros(8, dtype=np.uint8))
+        assert array.counters.row_reads == 1
+        assert array.counters.row_writes == 1
+
+    def test_load_and_snapshot(self, rng):
+        array = SramArray(4, 4)
+        contents = rng.integers(0, 2, (4, 4), dtype=np.uint8)
+        array.load(contents)
+        assert np.array_equal(array.snapshot(), contents)
+
+    def test_bounds_checks(self):
+        array = SramArray(4, 4)
+        with pytest.raises(ValueError):
+            array.read_row(4)
+        with pytest.raises(ValueError):
+            array.flip_cell(0, 9)
+        with pytest.raises(ValueError):
+            SramArray(0, 4)
+
+
+class TestBankLayout:
+    def test_geometry(self):
+        layout = BankLayout(n_words=256, data_bits=64, check_bits=8, interleave_degree=4)
+        assert layout.rows == 64
+        assert layout.codeword_bits == 72
+        assert layout.row_bits == 288
+        assert layout.data_capacity_bits == 256 * 64
+
+    def test_word_location_roundtrip(self):
+        layout = BankLayout(256, 64, 8, 4)
+        for word in (0, 1, 5, 100, 255):
+            row, slot = layout.word_location(word)
+            assert layout.word_index(row, slot) == word
+
+    def test_interleaved_column_mapping(self):
+        layout = BankLayout(256, 64, 8, 4)
+        columns = layout.codeword_columns(slot=1)
+        # Bit i of slot 1 lives at physical column 4*i + 1.
+        assert columns[0] == 1
+        assert columns[1] == 5
+        assert columns[-1] == 4 * 71 + 1
+        slot, bit = layout.cell_owner(int(columns[10]))
+        assert slot == 1 and bit == 10
+
+    def test_data_and_check_columns_partition_codeword(self):
+        layout = BankLayout(256, 64, 8, 4)
+        data_cols = set(layout.data_columns(2).tolist())
+        check_cols = set(layout.check_columns(2).tolist())
+        assert len(data_cols) == 64 and len(check_cols) == 8
+        assert not data_cols & check_cols
+
+    def test_split_join_roundtrip(self, rng):
+        layout = BankLayout(256, 64, 8, 4)
+        codeword = rng.integers(0, 2, 72, dtype=np.uint8)
+        data, check = layout.split_codeword(codeword)
+        assert np.array_equal(layout.join_codeword(data, check), codeword)
+
+    def test_rows_must_be_full(self):
+        with pytest.raises(ValueError):
+            BankLayout(n_words=255, data_bits=64, check_bits=8, interleave_degree=4)
+
+
+class TestSpareRowRepair:
+    def test_allocation_until_exhausted(self):
+        spares = SpareRowRepair(2)
+        assert spares.repair(10).repaired
+        assert spares.repair(20).repaired
+        assert not spares.repair(30).repaired
+        assert spares.exhausted
+        assert spares.remapped_rows() == (10, 20)
+
+    def test_idempotent_repair(self):
+        spares = SpareRowRepair(1)
+        first = spares.repair(5)
+        second = spares.repair(5)
+        assert first.spare_used == second.spare_used
+        assert spares.spares_used == 1
+
+    def test_batch_repair(self):
+        spares = SpareRowRepair(3)
+        outcomes = spares.repair_all([1, 2, 3, 4])
+        assert [o.repaired for o in outcomes] == [True, True, True, False]
+        assert spares.spares_remaining == 0

@@ -1,0 +1,192 @@
+"""Tests for the functional cache, protected controller and hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import ReadStatus
+from repro.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    ProtectedCacheController,
+    SetAssociativeCache,
+    WritePolicy,
+)
+from repro.coding import InterleavedParityCode, SecdedCode
+from repro.errors import ErrorInjector
+
+
+def l1_config(**overrides) -> CacheConfig:
+    params = dict(
+        name="L1D", size_bytes=4096, associativity=2, line_bytes=64, n_ports=2
+    )
+    params.update(overrides)
+    return CacheConfig(**params)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig("L2", size_bytes=16 * 1024, associativity=4, line_bytes=64)
+        assert config.n_sets == 64
+        assert config.n_lines == 256
+
+    def test_index_and_tag_are_consistent(self):
+        config = l1_config()
+        address = 0x1234C0
+        assert config.block_address(address) % config.line_bytes == 0
+        same_line = config.block_address(address) + 7
+        assert config.set_index(address) == config.set_index(same_line)
+        assert config.tag(address) == config.tag(same_line)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", size_bytes=1000, associativity=3, line_bytes=64)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(l1_config())
+        assert not cache.read(0x100).hit
+        assert cache.read(0x100).hit
+        assert cache.stats.read_misses == 1
+        assert cache.stats.read_hits == 1
+
+    def test_lru_eviction(self):
+        config = l1_config(size_bytes=2 * 64, associativity=2)  # one set, two ways
+        cache = SetAssociativeCache(config)
+        cache.read(0 * 64)
+        cache.read(1 * 64)
+        cache.read(0 * 64)          # touch way 0 so way 1 becomes LRU
+        result = cache.read(2 * 64)  # evicts line 1
+        assert result.victim_address == 1 * 64
+        assert cache.contains(0) and cache.contains(2 * 64)
+        assert not cache.contains(1 * 64)
+
+    def test_write_back_dirty_eviction(self):
+        config = l1_config(size_bytes=2 * 64, associativity=2)
+        cache = SetAssociativeCache(config)
+        cache.write(0 * 64)
+        cache.read(1 * 64)
+        cache.read(1 * 64)
+        result = cache.read(2 * 64)  # way holding the dirty line 0 is LRU
+        assert result.writeback_address == 0
+        assert cache.stats.dirty_evictions == 1
+
+    def test_write_through_never_writes_back(self):
+        config = l1_config(write_policy=WritePolicy.WRITE_THROUGH)
+        cache = SetAssociativeCache(config)
+        cache.write(0x40)
+        assert cache.stats.write_throughs == 1
+        assert not cache.contains(0x40)  # no-allocate on write miss
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(l1_config())
+        cache.read(0x80)
+        assert cache.invalidate(0x80)
+        assert not cache.contains(0x80)
+        assert not cache.invalidate(0x80)
+
+
+class TestProtectedCacheController:
+    def build(self) -> ProtectedCacheController:
+        return ProtectedCacheController(
+            l1_config(), InterleavedParityCode(64, 8), word_bits=64
+        )
+
+    def test_fill_then_read_line(self, rng):
+        controller = self.build()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        controller.fill_line(0x1000, data)
+        result = controller.read_line(0x1000)
+        assert result.hit
+        assert np.array_equal(result.data, data)
+        assert result.status is ReadStatus.CLEAN
+
+    def test_miss_does_not_allocate(self):
+        controller = self.build()
+        assert not controller.read_line(0x2000).hit
+        assert not controller.cache.contains(0x2000)
+
+    def test_write_line_marks_dirty_and_roundtrips(self, rng):
+        controller = self.build()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        controller.fill_line(0x1000, np.zeros(64, dtype=np.uint8))
+        controller.write_line(0x1000, data)
+        assert np.array_equal(controller.read_line(0x1000).data, data)
+        assert controller.total_read_before_writes() > 0
+
+    def test_eviction_returns_dirty_data(self, rng):
+        config = l1_config(size_bytes=2 * 64, associativity=2)
+        controller = ProtectedCacheController(config, InterleavedParityCode(64, 8))
+        dirty = rng.integers(0, 256, 64, dtype=np.uint8)
+        controller.fill_line(0 * 64, np.zeros(64, dtype=np.uint8))
+        controller.write_line(0 * 64, dirty)
+        controller.fill_line(1 * 64, np.zeros(64, dtype=np.uint8))
+        # Fill a third line into the same (only) set: dirty line 0 evicted.
+        result = controller.fill_line(2 * 64, np.zeros(64, dtype=np.uint8))
+        assert result.writeback_address == 0
+        assert np.array_equal(result.evicted_data, dirty)
+
+    def test_error_in_bank_corrected_on_read(self, rng):
+        controller = self.build()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        controller.fill_line(0x40, data)
+        ErrorInjector(controller.banks[0], seed=3).inject_cluster(8, 8)
+        result = controller.read_line(0x40)
+        assert np.array_equal(result.data, data)
+        assert result.ok
+
+
+class TestCacheHierarchy:
+    def build_hierarchy(self, n_cores: int = 2) -> CacheHierarchy:
+        l1s = [
+            ProtectedCacheController(
+                l1_config(), InterleavedParityCode(64, 8), word_bits=64
+            )
+            for _ in range(n_cores)
+        ]
+        l2 = ProtectedCacheController(
+            CacheConfig("L2", size_bytes=16 * 1024, associativity=4, line_bytes=64),
+            SecdedCode(64),
+            word_bits=64,
+        )
+        return CacheHierarchy(l1s, l2)
+
+    def test_store_load_roundtrip_same_core(self, rng):
+        hierarchy = self.build_hierarchy()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        hierarchy.store(0, 0x3000, data)
+        assert np.array_equal(hierarchy.load(0, 0x3000), data)
+
+    def test_cross_core_coherence(self, rng):
+        hierarchy = self.build_hierarchy()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        hierarchy.store(0, 0x5000, data)
+        assert np.array_equal(hierarchy.load(1, 0x5000), data)
+
+    def test_random_access_stream_consistency(self, rng):
+        hierarchy = self.build_hierarchy()
+        reference: dict[int, np.ndarray] = {}
+        addresses = rng.integers(0, 256, 400) * 64
+        for i, address in enumerate(int(a) for a in addresses):
+            if rng.random() < 0.5:
+                data = rng.integers(0, 256, 64, dtype=np.uint8)
+                hierarchy.store(i % 2, address, data)
+                reference[address] = data
+            else:
+                expected = reference.get(address, np.zeros(64, dtype=np.uint8))
+                assert np.array_equal(hierarchy.load(i % 2, address), expected)
+
+    def test_consistency_under_error_injection(self, rng):
+        hierarchy = self.build_hierarchy()
+        reference: dict[int, np.ndarray] = {}
+        for address in range(0, 64 * 100, 64):
+            data = rng.integers(0, 256, 64, dtype=np.uint8)
+            hierarchy.store(0, address, data)
+            reference[address] = data
+        ErrorInjector(hierarchy.l1_caches[0].banks[0], seed=2).inject_cluster(16, 16)
+        ErrorInjector(hierarchy.l2_cache.banks[0], seed=3).inject_cluster(8, 8)
+        for address, expected in reference.items():
+            assert np.array_equal(hierarchy.load(0, address), expected)
+        assert hierarchy.stats.uncorrectable_reads == 0

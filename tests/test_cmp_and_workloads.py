@@ -1,0 +1,167 @@
+"""Tests for the workload profiles, trace generator and CMP contention model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cmp import (
+    PROTECTION_SCENARIOS,
+    BankScheduler,
+    PortScheduler,
+    StealQueue,
+    compare_protection,
+    fat_cmp_config,
+    lean_cmp_config,
+    simulate,
+)
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    AccessType,
+    TraceGenerator,
+    get_profile,
+    workload_names,
+)
+
+_CYCLES = 3_000
+
+
+class TestProfiles:
+    def test_all_six_paper_workloads_present(self):
+        assert set(workload_names()) == {"OLTP", "DSS", "Web", "Moldyn", "Ocean", "Sparse"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_profile("oltp").name == "OLTP"
+        with pytest.raises(KeyError):
+            get_profile("SPECint")
+
+    def test_write_fraction_is_minor_share_of_traffic(self):
+        # Fig. 6: writes (which trigger read-before-write) are a small
+        # fraction of overall cache accesses.
+        for profile in PAPER_WORKLOADS.values():
+            assert profile.l1d_write_fraction < 0.5
+
+    def test_commercial_flag(self):
+        assert get_profile("OLTP").commercial
+        assert not get_profile("Ocean").commercial
+
+
+class TestTraceGenerator:
+    def test_rates_match_profile(self):
+        profile = get_profile("OLTP")
+        trace = TraceGenerator(profile, n_cores=2, seed=1).generate(4_000)
+        counts = trace.counts_by_kind()
+        expected_reads = profile.l1d_reads / 100 * 4_000 * 2
+        assert counts[AccessType.DATA_READ] == pytest.approx(expected_reads, rel=0.15)
+        expected_writes = profile.l1d_writes / 100 * 4_000 * 2
+        assert counts[AccessType.DATA_WRITE] == pytest.approx(expected_writes, rel=0.2)
+
+    def test_deterministic_with_seed(self):
+        profile = get_profile("DSS")
+        t1 = TraceGenerator(profile, 1, seed=3).generate(500)
+        t2 = TraceGenerator(profile, 1, seed=3).generate(500)
+        assert len(t1) == len(t2)
+        assert all(a.address == b.address for a, b in zip(t1, t2))
+
+    def test_per_core_subtrace(self):
+        trace = TraceGenerator(get_profile("Web"), 4, seed=2).generate(500)
+        core_trace = trace.for_core(2)
+        assert all(access.core == 2 for access in core_trace)
+
+
+class TestSchedulers:
+    def test_port_scheduler_delays_when_oversubscribed(self):
+        ports = PortScheduler(2)
+        assert ports.schedule(0) == 0
+        assert ports.schedule(0) == 0
+        assert ports.schedule(0) == 1  # third access in the same cycle waits
+
+    def test_bank_scheduler_busy_time(self):
+        banks = BankScheduler(2, busy_cycles=4)
+        assert banks.schedule(0, 0) == 0
+        assert banks.schedule(1, 0) == 3  # bank 0 busy until cycle 4
+        assert banks.schedule(1, 1) == 0
+
+    def test_steal_queue_deadline_forces_issue(self):
+        queue = StealQueue(capacity=4, deadline=2)
+        assert queue.push(cycle=0)
+        assert queue.take_expired(cycle=1) == 0
+        assert queue.take_expired(cycle=2) == 1
+        assert queue.forced_issues == 1
+
+    def test_steal_queue_overflow(self):
+        queue = StealQueue(capacity=1, deadline=10)
+        assert queue.push(0)
+        assert not queue.push(0)
+
+
+class TestCmpSimulator:
+    def test_baseline_ipc_positive_and_reproducible(self):
+        cfg = fat_cmp_config()
+        profile = get_profile("OLTP")
+        r1 = simulate(cfg, profile, PROTECTION_SCENARIOS["baseline"], _CYCLES, seed=5)
+        r2 = simulate(cfg, profile, PROTECTION_SCENARIOS["baseline"], _CYCLES, seed=5)
+        assert r1.aggregate_ipc > 0
+        assert r1.aggregate_ipc == pytest.approx(r2.aggregate_ipc)
+
+    def test_protection_never_improves_ipc(self):
+        cfg = fat_cmp_config()
+        profile = get_profile("Ocean")
+        comparison = compare_protection(
+            cfg, profile, PROTECTION_SCENARIOS["l1"], _CYCLES, seed=2
+        )
+        assert comparison.ipc_loss_percent >= 0.0
+
+    def test_port_stealing_reduces_l1_loss(self):
+        cfg = fat_cmp_config()
+        profile = get_profile("Ocean")
+        without = compare_protection(cfg, profile, PROTECTION_SCENARIOS["l1"], _CYCLES, 2)
+        with_ps = compare_protection(cfg, profile, PROTECTION_SCENARIOS["l1_ps"], _CYCLES, 2)
+        assert with_ps.ipc_loss_percent <= without.ipc_loss_percent
+
+    def test_fat_l1_loss_exceeds_lean_l1_loss(self):
+        profile = get_profile("Ocean")
+        fat = compare_protection(
+            fat_cmp_config(), profile, PROTECTION_SCENARIOS["l1"], _CYCLES, 4
+        )
+        lean = compare_protection(
+            lean_cmp_config(), profile, PROTECTION_SCENARIOS["l1"], _CYCLES, 4
+        )
+        assert fat.ipc_loss_percent >= lean.ipc_loss_percent
+
+    def test_lean_loss_dominated_by_l2(self):
+        profile = get_profile("Web")
+        lean = lean_cmp_config()
+        l1_only = compare_protection(lean, profile, PROTECTION_SCENARIOS["l1"], _CYCLES, 6)
+        l2_only = compare_protection(lean, profile, PROTECTION_SCENARIOS["l2"], _CYCLES, 6)
+        assert l2_only.ipc_loss_percent >= l1_only.ipc_loss_percent
+
+    def test_extra_reads_tracked_in_breakdown(self):
+        cfg = fat_cmp_config()
+        result = simulate(
+            cfg, get_profile("OLTP"), PROTECTION_SCENARIOS["l1_ps_l2"], _CYCLES, seed=1
+        )
+        assert result.l1_breakdown.extra_2d_reads > 0
+        assert result.l2_breakdown.extra_2d_reads > 0
+        # ~20-40% more accesses, as in the paper's Fig. 6 discussion.
+        assert 0.05 < result.l1_breakdown.extra_read_fraction < 0.6
+
+    def test_baseline_has_no_extra_reads(self):
+        result = simulate(
+            fat_cmp_config(),
+            get_profile("DSS"),
+            PROTECTION_SCENARIOS["baseline"],
+            _CYCLES,
+            seed=1,
+        )
+        assert result.l1_breakdown.extra_2d_reads == 0
+        assert result.l2_breakdown.extra_2d_reads == 0
+
+    def test_table1_configurations(self):
+        fat = fat_cmp_config()
+        lean = lean_cmp_config()
+        assert fat.n_cores == 4 and lean.n_cores == 8
+        assert fat.l1d.n_ports == 2 and lean.l1d.n_ports == 1
+        assert fat.l2.size_bytes == 16 * 1024 * 1024
+        assert lean.l2.size_bytes == 4 * 1024 * 1024
+        assert lean.core.hardware_threads == 4

@@ -1,0 +1,155 @@
+"""Tests for the BCH multi-bit correcting codes (DECTED/QECPED/OECNED)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    BchCode,
+    CodeStatus,
+    DectedCode,
+    OecnedCode,
+    QecpedCode,
+)
+from repro.coding.base import int_to_bits
+from repro.coding.galois import GF2m, get_field
+
+
+class TestGaloisField:
+    def test_exp_log_roundtrip(self):
+        field = GF2m(7)
+        for element in (1, 2, 3, 17, 90, 126):
+            assert field.alpha_pow(field.log(element)) == element
+
+    def test_multiplication_matches_inverse(self):
+        field = GF2m(7)
+        for a in (1, 5, 44, 100):
+            assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_divide(self):
+        field = GF2m(8)
+        a, b = 57, 201
+        assert field.multiply(field.divide(a, b), b) == a
+
+    def test_zero_handling(self):
+        field = GF2m(7)
+        assert field.multiply(0, 55) == 0
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+        with pytest.raises(ZeroDivisionError):
+            field.divide(3, 0)
+
+    def test_minimal_polynomial_has_alpha_i_as_root(self):
+        field = GF2m(7)
+        for i in (1, 3, 5):
+            mask = field.minimal_polynomial(i)
+            coeffs = [(mask >> d) & 1 for d in range(mask.bit_length())]
+            assert field.poly_eval(coeffs, field.alpha_pow(i)) == 0
+
+    def test_get_field_is_cached(self):
+        assert get_field(7) is get_field(7)
+
+
+class TestBchGeometry:
+    def test_paper_code_sizes_for_64_bit_words(self):
+        # The paper's Fig. 1/3 geometry: (79,64) DECTED-ish, (121,64) OECNED.
+        assert DectedCode(64).check_bits == 15
+        assert QecpedCode(64).check_bits == 29
+        assert OecnedCode(64).check_bits == 57
+
+    def test_storage_overhead_matches_figure_3(self):
+        assert OecnedCode(64).geometry.storage_overhead == pytest.approx(0.8906, abs=1e-3)
+
+    def test_capabilities(self):
+        assert DectedCode(64).correct_bits == 2
+        assert DectedCode(64).detect_bits == 3
+        assert QecpedCode(64).correct_bits == 4
+        assert OecnedCode(64).correct_bits == 8
+
+    def test_256_bit_words_fit_larger_field(self):
+        code = OecnedCode(256)
+        assert code.field_m == 9
+        assert code.check_bits > 0
+        assert code.data_bits == 256
+
+
+@pytest.mark.parametrize(
+    "code_cls,t", [(DectedCode, 2), (QecpedCode, 4), (OecnedCode, 8)]
+)
+class TestBchDecoding:
+    def test_clean(self, rng, code_cls, t):
+        code = code_cls(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        assert code.decode(data, code.encode(data)).status is CodeStatus.CLEAN
+
+    def test_corrects_up_to_t_random_errors(self, rng, code_cls, t):
+        code = code_cls(64)
+        for n_errors in range(1, t + 1):
+            data = rng.integers(0, 2, 64, dtype=np.uint8)
+            check = code.encode(data)
+            corrupted = data.copy()
+            for position in rng.choice(64, size=n_errors, replace=False):
+                corrupted[position] ^= 1
+            result = code.decode(corrupted, check)
+            assert result.status is CodeStatus.CORRECTED
+            assert np.array_equal(result.data, data)
+
+    def test_detects_t_plus_one_errors(self, rng, code_cls, t):
+        code = code_cls(64)
+        for _ in range(5):
+            data = rng.integers(0, 2, 64, dtype=np.uint8)
+            check = code.encode(data)
+            corrupted = data.copy()
+            for position in rng.choice(64, size=t + 1, replace=False):
+                corrupted[position] ^= 1
+            result = code.decode(corrupted, check)
+            assert result.status is CodeStatus.DETECTED_UNCORRECTABLE
+            assert np.array_equal(result.data, corrupted)
+
+    def test_corrects_errors_in_check_bits(self, rng, code_cls, t):
+        code = code_cls(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted_check = check.copy()
+        corrupted_check[0] ^= 1
+        result = code.decode(data, corrupted_check)
+        assert result.status is CodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_contiguous_burst_of_t(self, rng, code_cls, t):
+        code = code_cls(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[20 : 20 + t] ^= 1
+        result = code.decode(corrupted, check)
+        assert result.status is CodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+
+class TestBchProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.sets(st.integers(0, 63), min_size=1, max_size=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dected_corrects_any_one_or_two_errors(self, value, positions):
+        code = DectedCode(64)
+        data = int_to_bits(value, 64)
+        check = code.encode(data)
+        corrupted = data.copy()
+        for position in positions:
+            corrupted[position] ^= 1
+        result = code.decode(corrupted, check)
+        assert result.status is CodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=8, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_construction_for_various_sizes(self, t, data_bits):
+        code = BchCode(data_bits, t=t)
+        data = np.zeros(data_bits, dtype=np.uint8)
+        assert code.decode(data, code.encode(data)).status is CodeStatus.CLEAN

@@ -1,0 +1,127 @@
+"""Tests for the SECDED (extended Hamming) code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import CodeStatus, SecdedCode
+from repro.coding.base import int_to_bits
+from repro.coding.hamming import hamming_parity_bits
+
+
+class TestGeometry:
+    def test_72_64_code(self):
+        code = SecdedCode(64)
+        assert code.check_bits == 8
+        assert str(code.geometry) == "(72,64)"
+
+    def test_266_256_code(self):
+        code = SecdedCode(256)
+        assert code.check_bits == 10
+        assert code.geometry.total_bits == 266
+
+    def test_parity_bit_count_formula(self):
+        assert hamming_parity_bits(64) == 7
+        assert hamming_parity_bits(256) == 9
+        assert hamming_parity_bits(8) == 4
+
+    def test_capabilities(self):
+        code = SecdedCode(64)
+        assert code.correct_bits == 1
+        assert code.detect_bits == 2
+
+
+class TestDecode:
+    def test_clean(self, rng):
+        code = SecdedCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        result = code.decode(data, code.encode(data))
+        assert result.status is CodeStatus.CLEAN
+
+    @pytest.mark.parametrize("position", [0, 1, 31, 62, 63])
+    def test_single_data_bit_corrected(self, rng, position):
+        code = SecdedCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[position] ^= 1
+        result = code.decode(corrupted, check)
+        assert result.status is CodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+        assert result.corrected_bits == (position,)
+
+    def test_single_check_bit_corrected(self, rng):
+        code = SecdedCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        for check_bit in range(code.check_bits):
+            corrupted_check = check.copy()
+            corrupted_check[check_bit] ^= 1
+            result = code.decode(data, corrupted_check)
+            assert result.status is CodeStatus.CORRECTED
+            assert np.array_equal(result.data, data)
+            assert result.corrected_bits == ()
+
+    def test_double_error_detected_not_corrected(self, rng):
+        code = SecdedCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[3] ^= 1
+        corrupted[40] ^= 1
+        result = code.decode(corrupted, check)
+        assert result.status is CodeStatus.DETECTED_UNCORRECTABLE
+        assert np.array_equal(result.data, corrupted)
+
+    def test_double_error_data_and_check_detected(self, rng):
+        code = SecdedCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[10] ^= 1
+        bad_check = check.copy()
+        bad_check[2] ^= 1
+        assert code.decode(corrupted, bad_check).status is CodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_integer_interface(self):
+        code = SecdedCode(64)
+        check = code.encode_int(0xDEADBEEFCAFEBABE)
+        value, result = code.decode_int(0xDEADBEEFCAFEBABE, check)
+        assert value == 0xDEADBEEFCAFEBABE
+        assert result.status is CodeStatus.CLEAN
+
+
+class TestSecdedProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_single_bit_error_is_corrected(self, value, position):
+        code = SecdedCode(64)
+        data = int_to_bits(value, 64)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[position] ^= 1
+        result = code.decode(corrupted, check)
+        assert result.status is CodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.tuples(st.integers(0, 63), st.integers(0, 63)).filter(lambda t: t[0] != t[1]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_double_bit_error_is_detected(self, value, positions):
+        code = SecdedCode(64)
+        data = int_to_bits(value, 64)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[positions[0]] ^= 1
+        corrupted[positions[1]] ^= 1
+        result = code.decode(corrupted, check)
+        # Hamming distance 4 guarantees double errors are never miscorrected.
+        assert result.status is CodeStatus.DETECTED_UNCORRECTABLE

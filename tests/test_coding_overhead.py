@@ -1,0 +1,102 @@
+"""Tests for the code overhead models, registry and interleaving model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import (
+    InterleavingConfig,
+    available_codes,
+    code_overhead,
+    interleaved_burst_coverage,
+    make_code,
+    standard_codes,
+)
+
+
+class TestOverheadModel:
+    def test_storage_grows_with_code_strength(self):
+        codes = standard_codes(64)
+        overheads = {name: code_overhead(code) for name, code in codes.items()}
+        assert (
+            overheads["SECDED"].storage_overhead
+            < overheads["DECTED"].storage_overhead
+            < overheads["QECPED"].storage_overhead
+            < overheads["OECNED"].storage_overhead
+        )
+
+    def test_secded_matches_paper_figures(self):
+        overhead = code_overhead(standard_codes(64)["SECDED"])
+        assert overhead.check_bits == 8
+        assert overhead.storage_overhead == pytest.approx(0.125)
+
+    def test_oecned_matches_figure3_overhead(self):
+        overhead = code_overhead(standard_codes(64)["OECNED"])
+        assert overhead.storage_overhead == pytest.approx(0.8906, abs=1e-3)
+
+    def test_energy_grows_with_code_strength(self):
+        overheads = [code_overhead(c) for c in standard_codes(64).values()]
+        energies = [o.coding_energy for o in overheads]
+        assert energies == sorted(energies)
+
+    def test_latency_detection_only_is_smallest(self):
+        codes = standard_codes(64)
+        edc = code_overhead(codes["EDC8"])
+        oecned = code_overhead(codes["OECNED"])
+        assert edc.total_latency_levels < oecned.total_latency_levels
+        assert edc.correction_latency_levels == 0
+
+    def test_256_bit_words_have_lower_relative_storage(self):
+        small = code_overhead(standard_codes(64)["OECNED"]).storage_overhead
+        large = code_overhead(standard_codes(256)["OECNED"]).storage_overhead
+        assert large < small
+
+
+class TestRegistry:
+    def test_named_codes(self):
+        assert make_code("SECDED", 64).check_bits == 8
+        assert make_code("secded", 64).check_bits == 8
+        assert make_code("EDC8", 64).check_bits == 8
+        assert make_code("EDC16", 256).check_bits == 16
+        assert make_code("OECNED", 64).check_bits == 57
+        assert make_code("BCH(t=3)", 64).correct_bits == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_code("REED_SOLOMON", 64)
+
+    def test_available_codes_listed(self):
+        names = available_codes()
+        assert "SECDED" in names and "OECNED" in names
+
+
+class TestInterleaving:
+    def test_round_trip_mapping(self):
+        config = InterleavingConfig(degree=4, codeword_bits=72)
+        for word in range(4):
+            for bit in (0, 1, 35, 71):
+                column = config.physical_column(word, bit)
+                assert config.logical_position(column) == (word, bit)
+
+    def test_row_width(self):
+        assert InterleavingConfig(4, 72).physical_row_bits == 288
+
+    def test_worst_case_burst_spreading(self):
+        config = InterleavingConfig(degree=4, codeword_bits=72)
+        assert config.worst_case_bits_per_word(0) == 0
+        assert config.worst_case_bits_per_word(4) == 1
+        assert config.worst_case_bits_per_word(5) == 2
+        assert config.worst_case_bits_per_word(32) == 8
+
+    def test_burst_coverage_arithmetic_matches_paper(self):
+        # OECNED (t=8) with 4-way interleaving covers 32-bit bursts;
+        # SECDED (t=1) with 4-way interleaving covers 4-bit bursts.
+        assert interleaved_burst_coverage(8, 4) == 32
+        assert interleaved_burst_coverage(1, 4) == 4
+        assert interleaved_burst_coverage(2, 16) == 32
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            InterleavingConfig(0, 72)
+        with pytest.raises(ValueError):
+            interleaved_burst_coverage(1, 0)

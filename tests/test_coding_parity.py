@@ -1,0 +1,173 @@
+"""Tests for interleaved parity (EDCn) and byte parity codes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import CodeStatus, InterleavedParityCode, ByteParityCode
+from repro.coding.base import int_to_bits
+
+
+class TestGeometry:
+    def test_edc8_on_64_bits_matches_paper(self):
+        code = InterleavedParityCode(64, 8)
+        assert code.check_bits == 8
+        assert code.geometry.total_bits == 72
+        assert code.geometry.storage_overhead == pytest.approx(0.125)
+
+    def test_edc16_on_256_bits(self):
+        code = InterleavedParityCode(256, 16)
+        assert code.check_bits == 16
+        assert code.detect_bits == 16
+
+    def test_detect_bits_equals_interleave(self):
+        for n in (1, 2, 4, 8, 16, 32):
+            assert InterleavedParityCode(64, n).detect_bits == n
+
+    def test_correct_bits_is_zero(self):
+        assert InterleavedParityCode(64, 8).correct_bits == 0
+
+    def test_invalid_interleave_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedParityCode(64, 0)
+        with pytest.raises(ValueError):
+            InterleavedParityCode(8, 16)
+
+    def test_group_of_maps_modulo(self):
+        code = InterleavedParityCode(64, 8)
+        assert code.group_of(0) == 0
+        assert code.group_of(9) == 1
+        assert code.group_of(63) == 7
+        with pytest.raises(ValueError):
+            code.group_of(64)
+
+
+class TestEncodeDecode:
+    def test_all_zero_word_has_zero_check(self):
+        code = InterleavedParityCode(64, 8)
+        assert not code.encode(np.zeros(64, dtype=np.uint8)).any()
+
+    def test_clean_roundtrip(self, rng):
+        code = InterleavedParityCode(64, 8)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        result = code.decode(data, code.encode(data))
+        assert result.status is CodeStatus.CLEAN
+        assert not result.detected
+
+    def test_single_bit_error_detected(self, rng):
+        code = InterleavedParityCode(64, 8)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        for position in (0, 17, 63):
+            corrupted = data.copy()
+            corrupted[position] ^= 1
+            result = code.decode(corrupted, check)
+            assert result.status is CodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_contiguous_burst_up_to_n_detected(self, rng):
+        code = InterleavedParityCode(64, 8)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        for burst in range(1, 9):
+            corrupted = data.copy()
+            corrupted[10 : 10 + burst] ^= 1
+            assert code.decode(corrupted, check).detected
+
+    def test_check_bit_error_detected(self, rng):
+        code = InterleavedParityCode(64, 8)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        check[3] ^= 1
+        assert code.decode(data, check).status is CodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_error_multiple_of_n_apart_may_alias(self):
+        # Two flips exactly n positions apart fall in the same parity group
+        # and cancel: the defining coverage limit of EDCn.
+        code = InterleavedParityCode(64, 8)
+        data = np.zeros(64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[4] ^= 1
+        corrupted[12] ^= 1
+        assert code.decode(corrupted, check).status is CodeStatus.CLEAN
+
+    def test_error_candidates_names_violated_groups(self):
+        code = InterleavedParityCode(64, 8)
+        data = np.zeros(64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[5] ^= 1
+        candidates = code.error_candidates(corrupted, check)
+        assert 5 in candidates
+        assert all(pos % 8 == 5 or pos == 64 + 5 for pos in candidates)
+
+    def test_error_candidates_empty_when_clean(self, rng):
+        code = InterleavedParityCode(64, 8)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        assert code.error_candidates(data, code.encode(data)) == ()
+
+
+class TestByteParity:
+    def test_geometry_matches_edc8_storage(self):
+        code = ByteParityCode(64)
+        assert code.check_bits == 8
+
+    def test_requires_byte_multiple(self):
+        with pytest.raises(ValueError):
+            ByteParityCode(60)
+
+    def test_single_bit_per_byte_detected(self, rng):
+        code = ByteParityCode(64)
+        data = rng.integers(0, 2, 64, dtype=np.uint8)
+        check = code.encode(data)
+        corrupted = data.copy()
+        corrupted[13] ^= 1
+        assert code.decode(corrupted, check).detected
+
+    def test_grouping_is_contiguous(self):
+        code = ByteParityCode(64)
+        assert code.group_of(0) == 0
+        assert code.group_of(7) == 0
+        assert code.group_of(8) == 1
+
+
+class TestParityProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_is_deterministic_and_clean(self, value):
+        code = InterleavedParityCode(64, 8)
+        data = int_to_bits(value, 64)
+        check1 = code.encode(data)
+        check2 = code.encode(data)
+        assert np.array_equal(check1, check2)
+        assert code.decode(data, check1).status is CodeStatus.CLEAN
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_burst_within_n_is_detected(self, value, start, width):
+        code = InterleavedParityCode(64, 8)
+        data = int_to_bits(value, 64)
+        check = code.encode(data)
+        corrupted = data.copy()
+        end = min(start + width, 64)
+        corrupted[start:end] ^= 1
+        if end > start:
+            assert code.decode(corrupted, check).detected
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_structure(self, value, interleave):
+        """EDCn is linear: check(a xor b) == check(a) xor check(b)."""
+        code = InterleavedParityCode(32, interleave)
+        a = int_to_bits(value, 32)
+        b = int_to_bits((value * 2654435761) % 2**32, 32)
+        lhs = code.encode(np.bitwise_xor(a, b))
+        rhs = np.bitwise_xor(code.encode(a), code.encode(b))
+        assert np.array_equal(lhs, rhs)

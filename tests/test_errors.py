@@ -1,0 +1,173 @@
+"""Tests for error events, rates, fault maps and the injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import SramArray
+from repro.errors import (
+    ErrorInjector,
+    ErrorKind,
+    FaultBehavior,
+    FaultMap,
+    FootprintDistribution,
+    HardErrorRate,
+    PAPER_HARD_ERROR_RATES,
+    PAPER_SOFT_ERROR_RATE,
+    SoftErrorRate,
+    cluster_upset,
+    column_failure,
+    row_failure,
+    single_bit_upset,
+)
+
+
+class TestEvents:
+    def test_single_bit_upset(self):
+        event = single_bit_upset(3, 7)
+        assert event.size == 1
+        assert event.rows == (3,)
+        assert event.kind is ErrorKind.SOFT
+
+    def test_cluster_footprint(self):
+        event = cluster_upset(10, 20, height=4, width=8)
+        assert event.size == 32
+        assert event.row_span == 4
+        assert event.column_span == 8
+        assert event.bounding_box() == (10, 20, 13, 27)
+
+    def test_row_and_column_failures(self):
+        row = row_failure(5, n_columns=64)
+        col = column_failure(9, n_rows=32)
+        assert row.size == 64 and row.row_span == 1
+        assert col.size == 32 and col.column_span == 1
+        assert row.kind is ErrorKind.HARD
+
+    def test_shifted(self):
+        event = cluster_upset(0, 0, 2, 2).shifted(10, 5)
+        assert event.bounding_box() == (10, 5, 11, 6)
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_upset(0, 0, 0, 4)
+
+
+class TestRates:
+    def test_paper_soft_error_rate(self):
+        # 1000 FIT/Mb over 1Mb is 1000 failures per 1e9 hours.
+        assert PAPER_SOFT_ERROR_RATE.events_per_hour(1_000_000) == pytest.approx(1e-6)
+
+    def test_events_scale_with_capacity_and_time(self):
+        ser = SoftErrorRate(1000.0)
+        one = ser.expected_events(1_000_000, years=1.0)
+        assert ser.expected_events(2_000_000, years=1.0) == pytest.approx(2 * one)
+        assert ser.expected_events(1_000_000, years=3.0) == pytest.approx(3 * one)
+
+    def test_hard_error_rate_percent_roundtrip(self):
+        rate = HardErrorRate.from_percent(0.001)
+        assert rate.per_bit_probability == pytest.approx(1e-5)
+        assert rate.percent == pytest.approx(0.001)
+
+    def test_paper_rates_present(self):
+        assert set(PAPER_HARD_ERROR_RATES) == {"0.0005%", "0.001%", "0.005%"}
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            SoftErrorRate(-1.0)
+        with pytest.raises(ValueError):
+            HardErrorRate(1.5)
+
+
+class TestFaultMap:
+    def test_add_and_query(self):
+        faults = FaultMap(16, 32)
+        faults.add(3, 5, FaultBehavior.STUCK_AT_1)
+        assert (3, 5) in faults
+        assert faults.fault_count == 1
+        assert faults.behavior_at(3, 5) is FaultBehavior.STUCK_AT_1
+        assert faults.faults_in_row(3) == (5,)
+        assert faults.faults_in_column(5) == (3,)
+
+    def test_corrupt_row_behaviors(self):
+        faults = FaultMap(4, 8)
+        faults.add(0, 1, FaultBehavior.STUCK_AT_0)
+        faults.add(0, 2, FaultBehavior.STUCK_AT_1)
+        faults.add(0, 3, FaultBehavior.INVERT)
+        stored = np.ones(8, dtype=np.uint8)
+        observed = faults.corrupt_row(0, stored)
+        assert observed[1] == 0 and observed[2] == 1 and observed[3] == 0
+        assert observed[0] == 1
+
+    def test_remove_and_clear(self):
+        faults = FaultMap(4, 4)
+        faults.add(1, 1)
+        faults.remove(1, 1)
+        assert faults.fault_count == 0
+        faults.add(2, 2)
+        faults.clear()
+        assert len(faults) == 0
+
+    def test_matrix_view(self):
+        faults = FaultMap(4, 4)
+        faults.add(1, 2)
+        matrix = faults.as_matrix()
+        assert matrix[1, 2] and matrix.sum() == 1
+
+
+class TestInjector:
+    def test_deterministic_with_seed(self):
+        a1 = SramArray(32, 64)
+        a2 = SramArray(32, 64)
+        ErrorInjector(a1, seed=7).inject_cluster(4, 4)
+        ErrorInjector(a2, seed=7).inject_cluster(4, 4)
+        assert np.array_equal(a1.snapshot(), a2.snapshot())
+
+    def test_cluster_flips_expected_cells(self):
+        array = SramArray(32, 64)
+        injector = ErrorInjector(array, seed=1)
+        event = injector.inject_cluster(4, 8)
+        assert event.size == 32
+        assert array.snapshot().sum() == 32
+
+    def test_hard_faults_registered_not_flipped(self):
+        array = SramArray(32, 64)
+        injector = ErrorInjector(array, seed=1)
+        injector.inject_single_bit(kind=ErrorKind.HARD)
+        assert array.snapshot().sum() == 0
+        assert array.fault_map.fault_count == 1
+
+    def test_row_and_column_failures_cover_full_dimension(self):
+        array = SramArray(16, 24)
+        injector = ErrorInjector(array, seed=2)
+        row_event = injector.inject_row_failure(kind=ErrorKind.SOFT)
+        assert row_event.size == 24
+        col_event = injector.inject_column_failure(kind=ErrorKind.SOFT)
+        assert col_event.size == 16
+
+    def test_distribution_sampling(self):
+        array = SramArray(64, 64)
+        injector = ErrorInjector(array, seed=3)
+        dist = FootprintDistribution.mostly_single_bit(multi_bit_fraction=0.5)
+        events = injector.inject_from_distribution(dist, count=20)
+        assert len(events) == 20
+        assert len(injector.history) == 20
+
+    def test_random_hard_fault_density(self):
+        array = SramArray(128, 128)
+        injector = ErrorInjector(array, seed=4)
+        events = injector.inject_random_hard_faults(probability=0.01)
+        expected = 128 * 128 * 0.01
+        assert 0.3 * expected < len(events) < 3 * expected
+
+    def test_out_of_range_event_rejected(self):
+        array = SramArray(8, 8)
+        injector = ErrorInjector(array, seed=0)
+        with pytest.raises(ValueError):
+            injector.apply(single_bit_upset(100, 0))
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ValueError):
+            FootprintDistribution(weights={})
+        with pytest.raises(ValueError):
+            FootprintDistribution(weights={(0, 1): 1.0})
