@@ -5,25 +5,9 @@ the corresponding experiment driver, prints the same rows/series the paper
 reports (so the output can be compared side by side with the figure), and
 asserts the qualitative relations that define a successful reproduction.
 Timing is collected with pytest-benchmark.
+
+Shared printing helpers live in ``reporting.py`` (imported explicitly;
+see that module's docstring for why they are not defined here).
 """
 
 from __future__ import annotations
-
-
-def print_series(title: str, series: dict) -> None:
-    """Pretty-print one figure's data series under a heading."""
-    print(f"\n=== {title} ===")
-    for label, values in series.items():
-        if isinstance(values, dict):
-            formatted = ", ".join(f"{k}: {_fmt(v)}" for k, v in values.items())
-        elif isinstance(values, (list, tuple)):
-            formatted = ", ".join(_fmt(v) for v in values)
-        else:
-            formatted = _fmt(values)
-        print(f"  {label:<34} {formatted}")
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)

@@ -1,0 +1,30 @@
+"""Shared pretty-printing helpers for the benchmark harness.
+
+Imported explicitly (``from reporting import print_series``) rather than
+living in ``conftest.py``: the module name ``conftest`` is ambiguous
+when pytest collects both ``tests/`` and ``benchmarks/``, and importing
+from it used to break test collection.
+"""
+
+from __future__ import annotations
+
+__all__ = ["print_series"]
+
+
+def print_series(title: str, series: dict) -> None:
+    """Pretty-print one figure's data series under a heading."""
+    print(f"\n=== {title} ===")
+    for label, values in series.items():
+        if isinstance(values, dict):
+            formatted = ", ".join(f"{k}: {_fmt(v)}" for k, v in values.items())
+        elif isinstance(values, (list, tuple)):
+            formatted = ", ".join(_fmt(v) for v in values)
+        else:
+            formatted = _fmt(values)
+        print(f"  {label:<34} {formatted}")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

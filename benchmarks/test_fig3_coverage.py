@@ -1,9 +1,13 @@
 """Figure 3: error coverage vs storage overhead on a 256x256-bit array.
 
 Beyond the analytical comparison, this benchmark also validates the 2D
-scheme's claimed coverage by bit-level simulation: it builds the actual
-256x256 protected array, injects a 32x32 clustered error, and checks that
-every word is reconstructed.
+scheme's claimed coverage by bit-level simulation, two ways:
+
+* scalar — build the actual 256x256 protected array, inject a 32x32
+  clustered error, and check that every word is reconstructed;
+* Monte Carlo — run the vectorized engine over thousands of random
+  clustered events and check the estimated coverage probabilities agree
+  with the scalar oracle within 95% confidence intervals.
 """
 
 from __future__ import annotations
@@ -11,9 +15,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import build_protected_bank, fig3_coverage, fig3_schemes
+from repro.core.experiments import FIG3_MC_FOOTPRINTS, fig3_coverage_monte_carlo
+from repro.engine import (
+    ClusterErrorModel,
+    EngineSpec,
+    StreamingAggregator,
+    run_experiment,
+    scalar_verdicts,
+)
+from repro.engine.rng import block_generator
 from repro.errors import ErrorInjector
 
-from conftest import print_series
+from reporting import print_series
 
 
 def test_fig3_coverage_and_overhead(benchmark):
@@ -64,3 +77,62 @@ def test_fig3_simulated_32x32_correction(benchmark):
     print("\n=== Fig. 3 (simulated) — 32x32 cluster on 2D-protected 8kB array ===")
     print(f"  words with wrong data after correction: {mismatches}")
     assert mismatches == 0
+
+
+def test_fig3_monte_carlo_coverage_engine(benchmark):
+    """Engine-estimated coverage probabilities behind Fig. 3.
+
+    The 2D scheme must correct (essentially) every event of the Fig. 3
+    workload — whose cluster tail reaches its full 32x32 claimed
+    footprint — while interleaved SECDED visibly loses the multi-bit
+    tail.  Estimates carry Wilson 95% intervals.
+    """
+    estimates = benchmark(lambda: fig3_coverage_monte_carlo(n_trials=2048, seed=2007))
+    print_series(
+        "Fig. 3 (Monte Carlo) — P[event fully corrected], 95% CI",
+        {key: str(estimate) for key, estimate in estimates.items()},
+    )
+    two_d = estimates["2d_edc8_edc32"]
+    secded = estimates["secded_intv4"]
+    assert two_d.point == 1.0, "2D must correct every in-coverage event"
+    assert two_d.contains(1.0)
+    # SECDED's interval must sit strictly below the 2D scheme's.
+    assert secded.upper < two_d.lower
+    assert secded.point < 0.95
+
+
+def test_fig3_monte_carlo_agrees_with_scalar_oracle(benchmark):
+    """The engine's Fig. 3 estimate vs the bit-level scalar oracle.
+
+    The same error masks are pushed through the vectorized path and
+    through the original TwoDProtectedArray recovery walk; the oracle's
+    coverage estimate (on an affordable subsample) must agree with the
+    engine's full-run estimate within the 95% intervals — and on the
+    shared trials the verdicts must match outright.
+    """
+    scheme = fig3_schemes()["2d_edc8_edc32"]
+    spec = EngineSpec.from_scheme(scheme, rows=256)
+    model = ClusterErrorModel(footprints=FIG3_MC_FOOTPRINTS)
+
+    engine_result = benchmark.pedantic(
+        lambda: run_experiment(spec, model, 2048, seed=2007, block_size=256),
+        rounds=1,
+        iterations=1,
+    )
+    engine_estimate = engine_result.estimate()
+
+    n_oracle = 32  # scalar trials are ~4 orders of magnitude slower
+    masks = model.sample(block_generator(2007, 0), 256, spec)[:n_oracle]
+    oracle = scalar_verdicts(spec, masks)
+    oracle_estimate = StreamingAggregator().update(oracle).estimate()
+
+    print_series(
+        "Fig. 3 (Monte Carlo) — engine vs scalar oracle",
+        {
+            "engine (2048 trials)": str(engine_estimate),
+            f"oracle ({n_oracle} trials)": str(oracle_estimate),
+        },
+    )
+    assert np.array_equal(engine_result.verdicts[:n_oracle], oracle)
+    assert oracle_estimate.overlaps(engine_estimate)
+    assert oracle_estimate.contains(engine_estimate.point)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import fig5_performance
 
-from conftest import print_series
+from reporting import print_series
 
 _SCENARIO_LABELS = {
     "l1": "L1 D-cache",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import fig6_access_breakdown
 
-from conftest import print_series
+from reporting import print_series
 
 
 def test_fig6_breakdown(benchmark):

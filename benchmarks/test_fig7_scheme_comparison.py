@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core import fig7_scheme_comparison
 
-from conftest import print_series
+from reporting import print_series
 
 
 def test_fig7_scheme_overheads(benchmark):

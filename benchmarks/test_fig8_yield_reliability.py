@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core import fig8_reliability, fig8_yield
+from repro.core import fig8_reliability, fig8_yield, fig8_yield_monte_carlo
 
-from conftest import print_series
+from reporting import print_series
 
 
 def test_fig8a_yield(benchmark):
@@ -45,3 +45,37 @@ def test_fig8b_reliability(benchmark):
     assert high[-1] < 0.5
     for series in (low, high):
         assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+
+
+def test_fig8a_yield_monte_carlo(benchmark):
+    """Engine-simulated validation of the ECC-only yield curve.
+
+    The analytical Fig. 8(a) model is Stapper-style probability algebra;
+    here the engine actually throws N faulty cells into a bit-accurate
+    SECDED-protected bank and counts surviving trials.  The analytical
+    curve for the same (scaled) geometry must fall inside the simulated
+    Wilson band at every sweep point (a 99% band: the analytical model
+    is itself a binomial approximation, so simultaneous containment at
+    six points warrants the wider interval).
+    """
+    curves = benchmark.pedantic(
+        lambda: fig8_yield_monte_carlo(
+            failing_cells=(0, 8, 16, 24, 32, 40), n_trials=512, confidence=0.99
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Fig. 8(a) (Monte Carlo) — ECC-only yield, simulated vs analytical",
+        {label: [round(v, 3) for v in values] for label, values in curves.items()},
+    )
+    for analytical, lower, upper in zip(
+        curves["analytical"], curves["simulated_lower"], curves["simulated_upper"]
+    ):
+        assert lower <= analytical <= upper, (
+            f"analytical yield {analytical:.3f} outside simulated 99% band "
+            f"[{lower:.3f}, {upper:.3f}]"
+        )
+    # Yield must decay along the sweep in both views.
+    assert curves["simulated"][0] == 1.0
+    assert curves["simulated"][-1] < 0.2

@@ -1,0 +1,67 @@
+"""repro.engine — vectorized, sharded Monte Carlo fault injection.
+
+The engine evaluates thousands of protected-array instances per call
+where the scalar path (:mod:`repro.array`) walks one bank bit by bit:
+
+* :mod:`repro.engine.rng` — hierarchical seeded streams
+  (``SeedSequence`` spawning per fixed-size trial block) that make
+  results independent of worker count and chunk size.
+* :mod:`repro.engine.batch` — NumPy-vectorized injection and decode:
+  error masks as ``(trials, rows, row_bits)`` bit arrays, horizontal
+  syndromes and vertical parity reconstruction as XOR reductions.
+* :mod:`repro.engine.runner` — a ``multiprocessing``-sharded executor
+  that chunks trials across workers and merges results.
+* :mod:`repro.engine.aggregate` — streaming verdict tallies with Wilson
+  confidence intervals.
+* :mod:`repro.engine.cache` — an on-disk result cache keyed by the full
+  experiment identity (spec, model, trials, seed, block size).
+* :mod:`repro.engine.oracle` — the scalar reference path the vectorized
+  kernels are property-tested against.
+"""
+
+from .aggregate import (
+    CoverageEstimate,
+    StreamingAggregator,
+    TrialCounts,
+    wilson_interval,
+)
+from .batch import (
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_SILENT,
+    ClusterErrorModel,
+    EngineSpec,
+    FixedClusterModel,
+    RandomCellsModel,
+    make_decoder,
+    run_recovery_batch,
+)
+from .cache import ResultCache, cache_key
+from .oracle import scalar_trial_verdict, scalar_verdicts
+from .rng import DEFAULT_BLOCK_SIZE, block_generator, block_seed_sequence
+from .runner import EngineResult, run_experiment
+
+__all__ = [
+    "CoverageEstimate",
+    "StreamingAggregator",
+    "TrialCounts",
+    "wilson_interval",
+    "VERDICT_CORRECTED",
+    "VERDICT_DETECTED",
+    "VERDICT_SILENT",
+    "ClusterErrorModel",
+    "EngineSpec",
+    "FixedClusterModel",
+    "RandomCellsModel",
+    "make_decoder",
+    "run_recovery_batch",
+    "ResultCache",
+    "cache_key",
+    "scalar_trial_verdict",
+    "scalar_verdicts",
+    "DEFAULT_BLOCK_SIZE",
+    "block_generator",
+    "block_seed_sequence",
+    "EngineResult",
+    "run_experiment",
+]

@@ -1,0 +1,181 @@
+"""Streaming aggregation of Monte Carlo verdicts with Wilson intervals.
+
+Chunks of trials arrive from the sharded runner in arbitrary worker
+order; aggregation is a plain sum of verdict counts, so the totals are
+independent of scheduling.  Coverage (the fraction of trials the scheme
+fully corrects) is reported with a Wilson score interval, which behaves
+sensibly at the extremes (coverage near 1.0 with finite trials) where
+the naive normal interval collapses to a point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batch import VERDICT_CORRECTED, VERDICT_DETECTED, VERDICT_SILENT
+
+__all__ = [
+    "TrialCounts",
+    "CoverageEstimate",
+    "StreamingAggregator",
+    "wilson_interval",
+]
+
+#: Fallback z-scores when scipy is unavailable.
+_Z_TABLE = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+def _z_score(confidence: float) -> float:
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    try:
+        from scipy import stats
+
+        return float(stats.norm.ppf(0.5 + confidence / 2.0))
+    except ImportError:  # pragma: no cover - scipy is a hard dep elsewhere
+        key = round(confidence, 2)
+        if key in _Z_TABLE:
+            return _Z_TABLE[key]
+        raise
+
+
+def wilson_interval(
+    successes: int, n: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if n < 0 or not 0 <= successes <= max(n, 0):
+        raise ValueError("need 0 <= successes <= n")
+    if n == 0:
+        return 0.0, 1.0
+    z = _z_score(confidence)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    # At p in {0, 1} the bound at the boundary is exactly 0 / 1
+    # algebraically; avoid floating-point dust excluding the MLE.
+    lower = 0.0 if successes == 0 else max(0.0, center - half)
+    upper = 1.0 if successes == n else min(1.0, center + half)
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class TrialCounts:
+    """Verdict tallies for a set of Monte Carlo trials."""
+
+    n: int = 0
+    corrected: int = 0
+    detected: int = 0
+    silent: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.corrected, self.detected, self.silent) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.corrected + self.detected + self.silent != self.n:
+            raise ValueError("verdict counts must sum to n")
+
+    @classmethod
+    def from_verdicts(cls, verdicts: np.ndarray) -> "TrialCounts":
+        v = np.asarray(verdicts)
+        return cls(
+            n=int(v.size),
+            corrected=int((v == VERDICT_CORRECTED).sum()),
+            detected=int((v == VERDICT_DETECTED).sum()),
+            silent=int((v == VERDICT_SILENT).sum()),
+        )
+
+    def __add__(self, other: "TrialCounts") -> "TrialCounts":
+        return TrialCounts(
+            n=self.n + other.n,
+            corrected=self.corrected + other.corrected,
+            detected=self.detected + other.detected,
+            silent=self.silent + other.silent,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "n": self.n,
+            "corrected": self.corrected,
+            "detected": self.detected,
+            "silent": self.silent,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialCounts":
+        return cls(
+            n=int(payload["n"]),
+            corrected=int(payload["corrected"]),
+            detected=int(payload["detected"]),
+            silent=int(payload["silent"]),
+        )
+
+
+@dataclass(frozen=True)
+class CoverageEstimate:
+    """Point estimate + Wilson CI of the fully-corrected trial fraction."""
+
+    n: int
+    successes: int
+    confidence: float
+    point: float
+    lower: float
+    upper: float
+
+    @classmethod
+    def from_counts(
+        cls, counts: TrialCounts, confidence: float = 0.95
+    ) -> "CoverageEstimate":
+        lower, upper = wilson_interval(counts.corrected, counts.n, confidence)
+        point = counts.corrected / counts.n if counts.n else 0.0
+        return cls(
+            n=counts.n,
+            successes=counts.corrected,
+            confidence=confidence,
+            point=point,
+            lower=lower,
+            upper=upper,
+        )
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside the confidence interval?"""
+        return self.lower <= value <= self.upper
+
+    def overlaps(self, other: "CoverageEstimate") -> bool:
+        """Do the two confidence intervals intersect?"""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = 100.0 * self.confidence
+        return (
+            f"{self.point:.4f} [{self.lower:.4f}, {self.upper:.4f}] "
+            f"@{pct:.0f}% ({self.successes}/{self.n})"
+        )
+
+
+class StreamingAggregator:
+    """Accumulates verdict counts chunk by chunk.
+
+    Totals are commutative sums, so feeding chunks in any completion
+    order produces identical results — the property the sharded runner
+    relies on.
+    """
+
+    def __init__(self) -> None:
+        self._counts = TrialCounts()
+
+    @property
+    def counts(self) -> TrialCounts:
+        return self._counts
+
+    def update(self, chunk: "TrialCounts | np.ndarray") -> "StreamingAggregator":
+        if not isinstance(chunk, TrialCounts):
+            chunk = TrialCounts.from_verdicts(chunk)
+        self._counts = self._counts + chunk
+        return self
+
+    def estimate(self, confidence: float = 0.95) -> CoverageEstimate:
+        return CoverageEstimate.from_counts(self._counts, confidence)

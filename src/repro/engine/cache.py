@@ -1,0 +1,105 @@
+"""On-disk result cache for engine runs.
+
+Results are keyed by a SHA-256 digest of the full experiment identity —
+scheme/geometry spec, error model, trial count, seed, block size and an
+engine version tag — so a repeated experiment run is a file read instead
+of a simulation.  Worker count and chunking deliberately do **not**
+participate in the key: the engine guarantees they cannot change the
+result, so runs at different parallelism share cache entries.
+
+Entries are ``.npz`` files holding the verdict counts, the optional
+per-trial verdict array, and the human-readable key parameters (for
+debugging with ``numpy.load`` directly).  Writes go through a temp file
+plus ``os.replace`` so a crashed run never leaves a truncated entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ResultCache", "cache_key"]
+
+#: Bump when the engine's semantics change in ways that invalidate old
+#: cached results.
+ENGINE_VERSION = 1
+
+
+def cache_key(params: dict) -> str:
+    """Stable digest of a JSON-serializable parameter mapping."""
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed engine results."""
+
+    def __init__(self, root: "str | Path"):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, key: str) -> Path:
+        return self._root / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> "dict | None":
+        """Return the stored payload for ``key``, or None on miss.
+
+        The payload maps field names to numpy arrays/scalars; the
+        ``params_json`` field holds the original key parameters.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile, KeyError):
+            # A corrupt entry (interrupted write, truncation, disk
+            # trouble) must never poison a run; treat it as a miss.
+            return None
+
+    def store(self, key: str, payload: dict, params: dict) -> Path:
+        """Atomically persist ``payload`` (mapping of array-likes)."""
+        path = self.path_for(key)
+        arrays = dict(payload)
+        arrays["params_json"] = np.array(
+            json.dumps(params, sort_keys=True), dtype=np.str_
+        )
+        # Unique temp name per writer: concurrent processes storing the
+        # same key must not interleave writes before the atomic rename.
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp.npz", dir=self._root
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for entry in self._root.glob("*.npz"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._root.glob("*.npz"))

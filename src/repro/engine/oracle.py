@@ -1,0 +1,111 @@
+"""Scalar reference oracle for the vectorized engine.
+
+Runs the *same* error masks through the original bit-level machinery —
+:class:`repro.array.TwoDProtectedArray` plus the Fig. 4(b) recovery walk
+for 2D schemes, the plain per-word decode for conventional ones — and
+scores each trial with the engine's verdict vocabulary.  The property
+tests pin :func:`repro.engine.batch.run_recovery_batch` against this
+oracle, and the throughput benchmark uses it as the one-at-a-time
+baseline the engine is measured against.
+
+The oracle evaluates a zero-filled bank.  The codes are linear (the
+all-zeros word is a codeword with all-zero check bits), so every decode
+and recovery decision depends only on the error pattern; the randomized
+scalar tests in ``tests/test_twod_array.py`` already exercise the same
+paths under random data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.array import BankLayout, ReadStatus, TwoDProtectedArray
+from repro.coding.base import CodeStatus
+
+from .batch import (
+    VERDICT_CORRECTED,
+    VERDICT_DETECTED,
+    VERDICT_SILENT,
+    EngineSpec,
+)
+
+__all__ = ["build_oracle_bank", "scalar_trial_verdict", "scalar_verdicts"]
+
+
+def build_oracle_bank(spec: EngineSpec) -> TwoDProtectedArray:
+    """A fresh zero-filled 2D-protected bank matching ``spec``."""
+    if not spec.is_two_dimensional:
+        raise ValueError("oracle banks exist only for 2D specs")
+    code = spec.build_code()
+    layout = BankLayout(
+        n_words=spec.n_words,
+        data_bits=spec.data_bits,
+        check_bits=code.check_bits,
+        interleave_degree=spec.interleave_degree,
+    )
+    return TwoDProtectedArray(
+        layout, code, vertical_groups=spec.vertical_groups or 1, name="oracle"
+    )
+
+
+def _verdict_from_words(due: bool, silent: bool) -> int:
+    if silent:
+        return VERDICT_SILENT
+    if due:
+        return VERDICT_DETECTED
+    return VERDICT_CORRECTED
+
+
+def _scalar_2d_trial(spec: EngineSpec, mask: np.ndarray) -> int:
+    bank = build_oracle_bank(spec)
+    for row, column in zip(*np.nonzero(mask)):
+        bank.flip_cell(int(row), int(column))
+    bank.recover()
+    due = False
+    silent = False
+    for word in range(bank.layout.n_words):
+        outcome = bank.read_word(word, allow_recovery=False)
+        if outcome.status is ReadStatus.UNCORRECTABLE:
+            due = True
+        elif outcome.data.any():  # correct data is all-zeros
+            silent = True
+    return _verdict_from_words(due, silent)
+
+
+def _scalar_1d_trial(spec: EngineSpec, mask: np.ndarray) -> int:
+    code = spec.build_code()
+    d = spec.interleave_degree
+    due = False
+    silent = False
+    for row in range(spec.rows):
+        row_bits = mask[row]
+        for slot in range(d):
+            codeword = row_bits[np.arange(spec.codeword_bits) * d + slot]
+            data_err = codeword[: spec.data_bits]
+            check_err = codeword[spec.data_bits :]
+            result = code.decode(data_err.astype(np.uint8), check_err.astype(np.uint8))
+            if result.status is CodeStatus.DETECTED_UNCORRECTABLE:
+                due = True
+            elif result.data.any():
+                silent = True
+    return _verdict_from_words(due, silent)
+
+
+def scalar_trial_verdict(spec: EngineSpec, mask: np.ndarray) -> int:
+    """Verdict of one ``(rows, row_bits)`` error mask via the scalar path."""
+    mask = np.asarray(mask)
+    if mask.shape != (spec.rows, spec.row_bits):
+        raise ValueError(
+            f"mask must have shape ({spec.rows}, {spec.row_bits}), got {mask.shape}"
+        )
+    if spec.is_two_dimensional:
+        return _scalar_2d_trial(spec, mask)
+    return _scalar_1d_trial(spec, mask)
+
+
+def scalar_verdicts(spec: EngineSpec, masks: np.ndarray) -> np.ndarray:
+    """Scalar-path verdicts for a ``(trials, rows, row_bits)`` mask batch."""
+    masks = np.asarray(masks)
+    return np.array(
+        [scalar_trial_verdict(spec, mask) for mask in masks], dtype=np.uint8
+    )

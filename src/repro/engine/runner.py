@@ -1,0 +1,213 @@
+"""Sharded Monte Carlo executor: chunk trials, fan out, merge.
+
+:func:`run_experiment` is the engine's front door.  It splits the trial
+space into chunks of whole RNG blocks, evaluates them serially or across
+a ``multiprocessing`` pool, and merges the per-chunk tallies.  Because
+every trial's randomness is keyed by its block (:mod:`repro.engine.rng`)
+and the merge is a commutative sum plus an order-restoring concatenation,
+**the result is bit-identical for any worker count and chunk size** —
+parallelism is purely a throughput knob.
+
+Results can be transparently memoized through
+:class:`repro.engine.cache.ResultCache`; repeated experiment runs with
+the same spec/model/trials/seed are then free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
+from .batch import EngineSpec, make_decoder, run_recovery_batch
+from .cache import ENGINE_VERSION, ResultCache, cache_key
+from .rng import DEFAULT_BLOCK_SIZE, block_generator, iter_block_slices, n_blocks
+
+__all__ = ["EngineResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Outcome of one engine run."""
+
+    spec: EngineSpec
+    counts: TrialCounts
+    #: Per-trial verdict codes in trial order (None when not collected).
+    verdicts: "np.ndarray | None"
+    n_trials: int
+    seed: int
+    block_size: int
+    elapsed_seconds: float
+    from_cache: bool = False
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.n_trials / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def estimate(self, confidence: float = 0.95) -> CoverageEstimate:
+        """Coverage (fully-corrected fraction) with a Wilson interval."""
+        return CoverageEstimate.from_counts(self.counts, confidence)
+
+
+def _run_trial_range(
+    spec: EngineSpec,
+    model,
+    seed: int,
+    block_size: int,
+    first_trial: int,
+    last_trial: int,
+    collect_verdicts: bool,
+) -> tuple[TrialCounts, "np.ndarray | None"]:
+    """Evaluate trials ``[first_trial, last_trial)`` block by block.
+
+    Samplers always draw for the whole block and slice, so any partition
+    of the trial space sees identical per-trial randomness.
+    """
+    decoder = make_decoder(spec)
+    aggregator = StreamingAggregator()
+    collected: list[np.ndarray] = []
+    for piece in iter_block_slices(first_trial, last_trial, block_size):
+        rng = block_generator(seed, piece.block)
+        masks = model.sample(rng, block_size, spec)
+        verdicts = run_recovery_batch(spec, masks[piece.start : piece.stop], decoder)
+        aggregator.update(verdicts)
+        if collect_verdicts:
+            collected.append(verdicts)
+    merged = np.concatenate(collected) if collected else None
+    if collect_verdicts and merged is None:
+        merged = np.zeros(0, dtype=np.uint8)
+    return aggregator.counts, merged
+
+
+def _worker(payload: tuple) -> tuple[TrialCounts, "np.ndarray | None"]:
+    return _run_trial_range(*payload)
+
+
+def _chunk_ranges(
+    n_trials: int, block_size: int, chunk_blocks: int
+) -> list[tuple[int, int]]:
+    total_blocks = n_blocks(n_trials, block_size)
+    ranges = []
+    for first_block in range(0, total_blocks, chunk_blocks):
+        first = first_block * block_size
+        last = min((first_block + chunk_blocks) * block_size, n_trials)
+        ranges.append((first, last))
+    return ranges
+
+
+def run_experiment(
+    spec: EngineSpec,
+    model,
+    n_trials: int,
+    seed: int,
+    *,
+    n_workers: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_blocks: int = 1,
+    collect_verdicts: bool = True,
+    cache: "ResultCache | None" = None,
+) -> EngineResult:
+    """Run ``n_trials`` Monte Carlo fault-injection trials.
+
+    Parameters
+    ----------
+    spec, model:
+        What to simulate: bank configuration and vectorized error model
+        (any object with ``sample(rng, count, spec)`` and ``to_key()``).
+    n_trials, seed:
+        Trial count and root seed.  Together with ``block_size`` these
+        fully determine the result; scheduling parameters cannot change
+        it.
+    n_workers:
+        Process count.  1 (the default) runs in-process.
+    block_size:
+        Trials per RNG block — part of the experiment identity.
+    chunk_blocks:
+        Scheduling granularity in blocks per work item.
+    collect_verdicts:
+        Keep the per-trial verdict array (1 byte/trial) in the result.
+    cache:
+        Optional :class:`ResultCache`; hits skip the simulation.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    if chunk_blocks < 1:
+        raise ValueError("chunk_blocks must be positive")
+
+    params = {
+        "engine_version": ENGINE_VERSION,
+        "spec": spec.to_key(),
+        "model": model.to_key(),
+        "n_trials": n_trials,
+        "seed": seed,
+        "block_size": block_size,
+    }
+    key = cache_key(params)
+    if cache is not None:
+        payload = cache.load(key)
+        if payload is not None:
+            verdicts = payload.get("verdicts")
+            if verdicts is not None:
+                verdicts = np.asarray(verdicts, dtype=np.uint8)
+            if verdicts is None and collect_verdicts:
+                pass  # cached without verdicts; fall through and re-run
+            else:
+                counts = TrialCounts.from_dict(payload)
+                return EngineResult(
+                    spec=spec,
+                    counts=counts,
+                    verdicts=verdicts if collect_verdicts else None,
+                    n_trials=n_trials,
+                    seed=seed,
+                    block_size=block_size,
+                    elapsed_seconds=0.0,
+                    from_cache=True,
+                )
+
+    started = time.perf_counter()
+    ranges = _chunk_ranges(n_trials, block_size, chunk_blocks)
+    payloads = [
+        (spec, model, seed, block_size, first, last, collect_verdicts)
+        for first, last in ranges
+    ]
+    if n_workers == 1 or len(payloads) <= 1:
+        outcomes = [_worker(p) for p in payloads]
+    else:
+        # fork (the POSIX default) shares the imported package with the
+        # children; under spawn the workers re-import repro, which works
+        # as long as the package is installed or on PYTHONPATH.
+        with multiprocessing.get_context().Pool(processes=n_workers) as pool:
+            outcomes = pool.map(_worker, payloads)
+    elapsed = time.perf_counter() - started
+
+    aggregator = StreamingAggregator()
+    pieces: list[np.ndarray] = []
+    for counts, verdicts in outcomes:
+        aggregator.update(counts)
+        if collect_verdicts and verdicts is not None:
+            pieces.append(verdicts)
+    all_verdicts = (
+        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
+    ) if collect_verdicts else None
+
+    result = EngineResult(
+        spec=spec,
+        counts=aggregator.counts,
+        verdicts=all_verdicts,
+        n_trials=n_trials,
+        seed=seed,
+        block_size=block_size,
+        elapsed_seconds=elapsed,
+        from_cache=False,
+    )
+    if cache is not None:
+        payload = dict(result.counts.as_dict())
+        if all_verdicts is not None:
+            payload["verdicts"] = all_verdicts
+        cache.store(key, payload, params)
+    return result

@@ -1,51 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helper functions (``build_bank``, ``fill_random``) live in
+``tests/helpers.py`` so test modules can import them explicitly without
+relying on the ambiguous ``conftest`` module name.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.array import BankLayout, TwoDProtectedArray
-from repro.coding import InterleavedParityCode, SecdedCode
+from repro.array import TwoDProtectedArray
+
+from helpers import build_bank, fill_random
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that need random data."""
     return np.random.default_rng(12345)
-
-
-def build_bank(
-    horizontal: str = "EDC8",
-    rows: int = 64,
-    interleave: int = 4,
-    vertical_groups: int = 32,
-    data_bits: int = 64,
-) -> TwoDProtectedArray:
-    """Construct a small 2D-protected bank for tests."""
-    if horizontal == "EDC8":
-        code = InterleavedParityCode(data_bits, 8)
-    elif horizontal == "SECDED":
-        code = SecdedCode(data_bits)
-    else:
-        raise ValueError(f"unsupported test code {horizontal}")
-    layout = BankLayout(
-        n_words=rows * interleave,
-        data_bits=data_bits,
-        check_bits=code.check_bits,
-        interleave_degree=interleave,
-    )
-    return TwoDProtectedArray(layout, code, vertical_groups=vertical_groups)
-
-
-def fill_random(bank: TwoDProtectedArray, rng: np.random.Generator) -> dict[int, np.ndarray]:
-    """Write random data into every word of a bank; returns the reference."""
-    reference = {}
-    for word in range(bank.layout.n_words):
-        data = rng.integers(0, 2, bank.layout.data_bits, dtype=np.uint8)
-        reference[word] = data
-        bank.write_word(word, data)
-    return reference
 
 
 @pytest.fixture

@@ -1,0 +1,51 @@
+"""Shared test helpers (plain functions, no fixtures).
+
+These used to live in ``tests/conftest.py``, but importing them with
+``from conftest import ...`` is fragile: when pytest collects both
+``tests/`` and ``benchmarks/`` the module name ``conftest`` is ambiguous
+and the import can resolve to the wrong file.  Test modules should import
+the helpers explicitly with ``from helpers import build_bank, ...``;
+fixtures stay in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.array import BankLayout, TwoDProtectedArray
+from repro.coding import InterleavedParityCode, SecdedCode
+
+__all__ = ["build_bank", "fill_random"]
+
+
+def build_bank(
+    horizontal: str = "EDC8",
+    rows: int = 64,
+    interleave: int = 4,
+    vertical_groups: int = 32,
+    data_bits: int = 64,
+) -> TwoDProtectedArray:
+    """Construct a small 2D-protected bank for tests."""
+    if horizontal == "EDC8":
+        code = InterleavedParityCode(data_bits, 8)
+    elif horizontal == "SECDED":
+        code = SecdedCode(data_bits)
+    else:
+        raise ValueError(f"unsupported test code {horizontal}")
+    layout = BankLayout(
+        n_words=rows * interleave,
+        data_bits=data_bits,
+        check_bits=code.check_bits,
+        interleave_degree=interleave,
+    )
+    return TwoDProtectedArray(layout, code, vertical_groups=vertical_groups)
+
+
+def fill_random(bank: TwoDProtectedArray, rng: np.random.Generator) -> dict[int, np.ndarray]:
+    """Write random data into every word of a bank; returns the reference."""
+    reference = {}
+    for word in range(bank.layout.n_words):
+        data = rng.integers(0, 2, bank.layout.data_bits, dtype=np.uint8)
+        reference[word] = data
+        bank.write_word(word, data)
+    return reference

@@ -1,0 +1,97 @@
+"""RNG determinism: engine results must not depend on scheduling.
+
+The satellite requirement: same seed + same trial count must yield
+bit-identical engine results regardless of worker count (1 vs 4) and
+chunk size.  These tests pin the stream plumbing itself
+(:mod:`repro.engine.rng`); the runner-level invariance lives in
+``test_engine_runner.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import (
+    BlockSlice,
+    block_generator,
+    block_seed_sequence,
+    iter_block_slices,
+    n_blocks,
+)
+
+
+class TestBlockStreams:
+    def test_block_generator_is_reproducible(self):
+        a = block_generator(123, 7).random(32)
+        b = block_generator(123, 7).random(32)
+        assert np.array_equal(a, b)
+
+    def test_blocks_are_distinct_streams(self):
+        a = block_generator(123, 0).random(32)
+        b = block_generator(123, 1).random(32)
+        assert not np.array_equal(a, b)
+
+    def test_seeds_are_distinct_streams(self):
+        a = block_generator(1, 0).random(32)
+        b = block_generator(2, 0).random(32)
+        assert not np.array_equal(a, b)
+
+    def test_matches_seedsequence_spawn(self):
+        """Direct construction must equal the documented spawn semantics."""
+        for block in (0, 3, 17):
+            spawned = np.random.SeedSequence(99).spawn(block + 1)[block]
+            direct = block_seed_sequence(99, block)
+            assert spawned.spawn_key == direct.spawn_key
+            assert np.array_equal(
+                spawned.generate_state(4), direct.generate_state(4)
+            )
+
+    def test_rejects_negative_block(self):
+        with pytest.raises(ValueError):
+            block_seed_sequence(1, -1)
+
+
+class TestBlockSlicing:
+    def test_full_range_covers_all_trials(self):
+        pieces = list(iter_block_slices(0, 100, 16))
+        covered = sum(p.count for p in pieces)
+        assert covered == 100
+        assert pieces[0] == BlockSlice(block=0, start=0, stop=16)
+        assert pieces[-1] == BlockSlice(block=6, start=0, stop=4)
+
+    def test_partition_invariance(self):
+        """Any partition of the trial range yields the same block slices,
+        merely regrouped — the core of chunk-size independence."""
+        whole = [
+            (p.block, o)
+            for p in iter_block_slices(0, 77, 8)
+            for o in range(p.start, p.stop)
+        ]
+        for boundaries in ([0, 13, 77], [0, 8, 16, 50, 77], [0, 1, 2, 77]):
+            parts = []
+            for lo, hi in zip(boundaries, boundaries[1:]):
+                for p in iter_block_slices(lo, hi, 8):
+                    parts.extend((p.block, o) for o in range(p.start, p.stop))
+            assert parts == whole
+
+    def test_mid_block_range(self):
+        pieces = list(iter_block_slices(5, 11, 8))
+        assert pieces == [
+            BlockSlice(block=0, start=5, stop=8),
+            BlockSlice(block=1, start=0, stop=3),
+        ]
+
+    def test_n_blocks(self):
+        assert n_blocks(0, 16) == 0
+        assert n_blocks(1, 16) == 1
+        assert n_blocks(16, 16) == 1
+        assert n_blocks(17, 16) == 2
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_block_slices(-1, 4, 8))
+        with pytest.raises(ValueError):
+            list(iter_block_slices(4, 2, 8))
+        with pytest.raises(ValueError):
+            list(iter_block_slices(0, 4, 0))

@@ -1,0 +1,153 @@
+"""Sharded runner: scheduling invariance, caching, result plumbing.
+
+The headline property (an ISSUE satellite): same seed + same trial
+count ==> bit-identical results regardless of worker count (1 vs 4) and
+chunk size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ClusterErrorModel,
+    EngineSpec,
+    FixedClusterModel,
+    ResultCache,
+    run_experiment,
+)
+
+SPEC = EngineSpec(
+    rows=16, data_bits=16, interleave_degree=2,
+    horizontal_code="EDC4", vertical_groups=8,
+)
+MODEL = ClusterErrorModel.mostly_single_bit(0.6)
+
+
+def _run(**kwargs):
+    defaults = dict(n_trials=120, seed=31, block_size=16)
+    defaults.update(kwargs)
+    return run_experiment(SPEC, MODEL, **defaults)
+
+
+class TestSchedulingInvariance:
+    def test_worker_count_does_not_change_results(self):
+        serial = _run(n_workers=1)
+        parallel = _run(n_workers=4)
+        assert serial.counts == parallel.counts
+        assert np.array_equal(serial.verdicts, parallel.verdicts)
+
+    def test_chunk_size_does_not_change_results(self):
+        reference = _run(chunk_blocks=1)
+        for chunk_blocks in (2, 3, 100):
+            other = _run(chunk_blocks=chunk_blocks)
+            assert reference.counts == other.counts
+            assert np.array_equal(reference.verdicts, other.verdicts)
+
+    def test_workers_and_chunking_combined(self):
+        reference = _run(n_workers=1, chunk_blocks=1)
+        other = _run(n_workers=4, chunk_blocks=2)
+        assert reference.counts == other.counts
+        assert np.array_equal(reference.verdicts, other.verdicts)
+
+    def test_trial_prefix_stability(self):
+        """The first n trials of a longer run are the same trials."""
+        short = _run(n_trials=40)
+        long = _run(n_trials=120)
+        assert np.array_equal(long.verdicts[:40], short.verdicts)
+
+    def test_seed_changes_results(self):
+        # A bimodal model (tiny in-coverage upsets vs clusters taller
+        # than V) makes the verdict sequence a fingerprint of the seed.
+        model = ClusterErrorModel(footprints=(((1, 1), 0.5), ((12, 4), 0.5)))
+        a = run_experiment(SPEC, model, n_trials=200, seed=1, block_size=16)
+        b = run_experiment(SPEC, model, n_trials=200, seed=2, block_size=16)
+        assert not np.array_equal(a.verdicts, b.verdicts)
+
+    def test_non_block_multiple_trial_count(self):
+        result = _run(n_trials=50, block_size=16)
+        assert result.counts.n == 50
+        assert result.verdicts.shape == (50,)
+
+
+class TestResultPlumbing:
+    def test_counts_match_verdicts(self):
+        result = _run()
+        assert result.counts.n == 120
+        assert result.counts.corrected == int((result.verdicts == 0).sum())
+        assert result.counts.detected == int((result.verdicts == 1).sum())
+        assert result.counts.silent == int((result.verdicts == 2).sum())
+
+    def test_estimate_bounds(self):
+        estimate = _run().estimate()
+        assert 0.0 <= estimate.lower <= estimate.point <= estimate.upper <= 1.0
+        assert estimate.n == 120
+
+    def test_collect_verdicts_off(self):
+        result = _run(collect_verdicts=False)
+        assert result.verdicts is None
+        assert result.counts.n == 120
+
+    def test_zero_trials(self):
+        result = _run(n_trials=0)
+        assert result.counts.n == 0
+        assert result.verdicts.shape == (0,)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            _run(n_trials=-1)
+        with pytest.raises(ValueError):
+            _run(n_workers=0)
+        with pytest.raises(ValueError):
+            _run(chunk_blocks=0)
+
+
+class TestResultCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "engine")
+        first = _run(cache=cache)
+        assert not first.from_cache
+        assert len(cache) == 1
+        second = _run(cache=cache)
+        assert second.from_cache
+        assert second.counts == first.counts
+        assert np.array_equal(second.verdicts, first.verdicts)
+
+    def test_cache_key_covers_experiment_identity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run(cache=cache)
+        # Different seed, trials, model or spec -> distinct entries.
+        _run(cache=cache, seed=32)
+        _run(cache=cache, n_trials=121)
+        run_experiment(SPEC, FixedClusterModel(2, 2), n_trials=120, seed=31,
+                       block_size=16, cache=cache)
+        other_spec = EngineSpec(rows=16, data_bits=16, interleave_degree=2,
+                                horizontal_code="EDC4", vertical_groups=4)
+        run_experiment(other_spec, MODEL, n_trials=120, seed=31,
+                       block_size=16, cache=cache)
+        assert len(cache) == 5
+
+    def test_cache_is_scheduling_agnostic(self, tmp_path):
+        """Runs at different parallelism share one cache entry."""
+        cache = ResultCache(tmp_path)
+        first = _run(cache=cache, n_workers=1)
+        second = _run(cache=cache, n_workers=4, chunk_blocks=3)
+        assert len(cache) == 1
+        assert second.from_cache
+        assert np.array_equal(second.verdicts, first.verdicts)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _run(cache=cache)
+        entry = next(cache.root.glob("*.npz"))
+        entry.write_bytes(b"not an npz archive")
+        rerun = _run(cache=cache)
+        assert not rerun.from_cache
+        assert rerun.counts == result.counts
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _run(cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0

@@ -8,7 +8,7 @@ import pytest
 from repro.array import ReadStatus, TwoDProtectedArray
 from repro.errors import ErrorInjector, ErrorKind, FaultBehavior
 
-from conftest import build_bank, fill_random
+from helpers import build_bank, fill_random
 
 
 def read_all_and_compare(bank, reference):
