@@ -11,3 +11,19 @@ see that module's docstring for why they are not defined here).
 """
 
 from __future__ import annotations
+
+
+import pytest
+
+from repro.api import Session
+
+
+@pytest.fixture(scope="session")
+def api_session() -> Session:
+    """One shared experiment session for every figure benchmark.
+
+    Worker count and caching are session-level concerns in the unified
+    API; benchmarks use the default single-worker, uncached session so
+    timings measure the computation itself.
+    """
+    return Session()

@@ -2,28 +2,34 @@
 
 from __future__ import annotations
 
-from repro.core import fig1_energy_overhead, fig1_storage_overhead
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
 
-def test_fig1b_storage_overhead(benchmark):
-    storage = benchmark(fig1_storage_overhead)
+def test_fig1b_storage_overhead(benchmark, api_session):
+    result = benchmark(lambda: api_session.run(ExperimentSpec("fig1.storage")))
+    storage = result.data_dict()
     print_series(
         "Fig. 1(b) — Extra memory storage (%)",
         {f"{bits}b word": values for bits, values in storage.items()},
     )
-    for word_bits in (64, 256):
+    for word_bits in ("64", "256"):
         values = storage[word_bits]
         # Storage grows steeply with correction strength.
         assert values["SECDED"] < values["DECTED"] < values["QECPED"] < values["OECNED"]
     # Headline numbers from the paper: 12.5% SECDED vs 89.1% OECNED at 64b.
-    assert abs(storage[64]["SECDED"] - 12.5) < 0.1
-    assert abs(storage[64]["OECNED"] - 89.1) < 0.5
+    assert abs(storage["64"]["SECDED"] - 12.5) < 0.1
+    assert abs(storage["64"]["OECNED"] - 89.1) < 0.5
+    # The normalized series carry the same numbers as the raw payload
+    # (data keys are canonically sorted, so compare as mappings).
+    series = result.get_series("64b word")
+    assert dict(zip(series.x, series.y)) == storage["64"]
 
 
-def test_fig1c_energy_overhead(benchmark):
-    energy = benchmark(fig1_energy_overhead)
+def test_fig1c_energy_overhead(benchmark, api_session):
+    result = benchmark(lambda: api_session.run(ExperimentSpec("fig1.energy")))
+    energy = result.data_dict()
     print_series("Fig. 1(c) — Extra energy per read (%)", energy)
     for label, values in energy.items():
         assert values["EDC8"] < values["SECDED"] < values["DECTED"] < values["OECNED"]

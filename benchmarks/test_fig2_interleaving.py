@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from repro.core import fig2_interleaving_energy
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
 
-def test_fig2_interleaving_energy(benchmark):
-    results = benchmark(fig2_interleaving_energy)
+def test_fig2_interleaving_energy(benchmark, api_session):
+    spec = ExperimentSpec("fig2.interleaving", params={"degrees": [1, 2, 4, 8, 16]})
+    result = benchmark(lambda: api_session.run(spec))
+    results = result.data_dict()
     for cache_label, per_target in results.items():
         print_series(f"Fig. 2 — {cache_label} (normalized energy, 1:1..16:1)", per_target)
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core import fig5_performance
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
@@ -14,10 +14,12 @@ _SCENARIO_LABELS = {
 }
 
 
-def test_fig5_ipc_loss(benchmark):
-    results = benchmark.pedantic(
-        lambda: fig5_performance(n_cycles=5_000, seed=7), rounds=1, iterations=1
+def test_fig5_ipc_loss(benchmark, api_session):
+    spec = ExperimentSpec("fig5.performance", seed=7, params={"n_cycles": 5_000})
+    result = benchmark.pedantic(
+        lambda: api_session.run(spec), rounds=1, iterations=1
     )
+    results = result.data_dict()
     for cmp_name, per_workload in results.items():
         print_series(
             f"Fig. 5 — {cmp_name} CMP: performance loss (% IPC)",

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
-from repro.core import fig6_access_breakdown
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
 
-def test_fig6_breakdown(benchmark):
-    results = benchmark.pedantic(
-        lambda: fig6_access_breakdown(n_cycles=5_000, seed=7), rounds=1, iterations=1
+def test_fig6_breakdown(benchmark, api_session):
+    spec = ExperimentSpec("fig6.access_breakdown", seed=7, params={"n_cycles": 5_000})
+    result = benchmark.pedantic(
+        lambda: api_session.run(spec), rounds=1, iterations=1
     )
+    results = result.data_dict()
     for cmp_name, per_workload in results.items():
         for level in ("l1", "l2"):
             print_series(

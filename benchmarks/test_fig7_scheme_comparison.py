@@ -2,21 +2,22 @@
 
 from __future__ import annotations
 
-from repro.core import fig7_scheme_comparison
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
 
-def test_fig7_scheme_overheads(benchmark):
-    results = benchmark(fig7_scheme_comparison)
+def test_fig7_scheme_overheads(benchmark, api_session):
+    result = benchmark(lambda: api_session.run(ExperimentSpec("fig7.schemes")))
+    results = result.data_dict()
     for cache_label, costs in results.items():
         print_series(
             f"Fig. 7 — {cache_label} (normalized to SECDED+Intv2 = 100%)",
             {
-                cost.name: {
-                    "code area": round(cost.code_area),
-                    "latency": round(cost.coding_latency),
-                    "power": round(cost.dynamic_power),
+                cost["name"]: {
+                    "code area": round(cost["code_area"]),
+                    "latency": round(cost["coding_latency"]),
+                    "power": round(cost["dynamic_power"]),
                 }
                 for cost in costs.values()
             },
@@ -28,15 +29,15 @@ def test_fig7_scheme_overheads(benchmark):
         # 2D coding achieves the 32x32 coverage at a small fraction of the
         # power of every conventional alternative.
         for scheme in conventional:
-            assert scheme.dynamic_power > 2 * two_d.dynamic_power
-            assert scheme.code_area > two_d.code_area
+            assert scheme["dynamic_power"] > 2 * two_d["dynamic_power"]
+            assert scheme["code_area"] > two_d["code_area"]
         # Its detection latency is no worse than the SECDED baseline.
-        assert two_d.coding_latency <= 110.0
+        assert two_d["coding_latency"] <= 110.0
         # Conventional schemes blow up to several times the baseline power
         # (paper: 3x-5x), while 2D stays within ~2x.
-        assert all(s.dynamic_power > 250.0 for s in conventional)
-        assert two_d.dynamic_power < 200.0
+        assert all(s["dynamic_power"] > 250.0 for s in conventional)
+        assert two_d["dynamic_power"] < 200.0
 
     # The write-through L1 alternative costs far more storage (duplication).
     l1 = results["64kB L1 data cache"]
-    assert l1["write_through"].code_area > 4 * l1["2d"].code_area
+    assert l1["write_through"]["code_area"] > 4 * l1["2d"]["code_area"]

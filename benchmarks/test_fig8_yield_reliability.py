@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from repro.core import fig8_reliability, fig8_yield, fig8_yield_monte_carlo
+from repro.api import ExperimentSpec
 
 from reporting import print_series
 
 
-def test_fig8a_yield(benchmark):
-    curves = benchmark(lambda: fig8_yield(tuple(range(0, 4001, 400))))
+def test_fig8a_yield(benchmark, api_session):
+    spec = ExperimentSpec(
+        "fig8.yield", params={"failing_cells": list(range(0, 4001, 400))}
+    )
+    result = benchmark(lambda: api_session.run(spec))
+    curves = result.data_dict()
     print_series(
         "Fig. 8(a) — 16MB L2 yield vs failing cells",
         {label: [round(v, 3) for v in values] for label, values in curves.items()},
@@ -29,8 +33,9 @@ def test_fig8a_yield(benchmark):
         assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
 
 
-def test_fig8b_reliability(benchmark):
-    curves = benchmark(fig8_reliability)
+def test_fig8b_reliability(benchmark, api_session):
+    result = benchmark(lambda: api_session.run(ExperimentSpec("fig8.reliability")))
+    curves = result.data_dict()
     print_series(
         "Fig. 8(b) — probability all soft errors avoid faulty words (5-year horizon)",
         {label: [round(v, 3) for v in values] for label, values in curves.items()},
@@ -47,7 +52,7 @@ def test_fig8b_reliability(benchmark):
         assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
 
 
-def test_fig8a_yield_monte_carlo(benchmark):
+def test_fig8a_yield_monte_carlo(benchmark, api_session):
     """Engine-simulated validation of the ECC-only yield curve.
 
     The analytical Fig. 8(a) model is Stapper-style probability algebra;
@@ -58,13 +63,17 @@ def test_fig8a_yield_monte_carlo(benchmark):
     is itself a binomial approximation, so simultaneous containment at
     six points warrants the wider interval).
     """
-    curves = benchmark.pedantic(
-        lambda: fig8_yield_monte_carlo(
-            failing_cells=(0, 8, 16, 24, 32, 40), n_trials=512, confidence=0.99
-        ),
-        rounds=1,
-        iterations=1,
+    spec = ExperimentSpec(
+        "fig8.yield",
+        backend="monte_carlo",
+        trials=512,
+        confidence=0.99,
+        params={"failing_cells": [0, 8, 16, 24, 32, 40]},
     )
+    result = benchmark.pedantic(
+        lambda: api_session.run(spec), rounds=1, iterations=1
+    )
+    curves = result.data_dict()
     print_series(
         "Fig. 8(a) (Monte Carlo) — ECC-only yield, simulated vs analytical",
         {label: [round(v, 3) for v in values] for label, values in curves.items()},

@@ -3,60 +3,65 @@
 A designer wants 32x32-bit clustered-error coverage for a 64kB L1 data
 cache and a 4MB L2, and needs to pick between scaling conventional ECC +
 bit interleaving or adopting 2D error coding.  This script reproduces the
-paper's decision data: coverage, storage, latency, dynamic power, the
-expected IPC cost, and the yield benefit of SECDED-based hard-error repair.
+paper's decision data — coverage, storage, latency, dynamic power, the
+expected IPC cost, and the yield benefit of SECDED-based hard-error
+repair — entirely through the declarative experiment API: every number
+comes from ``session.run(ExperimentSpec(...))``.
 
 Run with:  python examples/design_space_exploration.py
 """
 
 from __future__ import annotations
 
-from repro.cmp import PROTECTION_SCENARIOS, fat_cmp_config, compare_protection
-from repro.core import (
-    analyze_scheme,
-    fig7_scheme_comparison,
-    fig8_yield,
-    l1_schemes,
-)
-from repro.workloads import get_profile
+from repro.api import ExperimentSpec, Session
+
+SESSION = Session()
 
 
 def show_coverage_and_storage() -> None:
     print("=== Coverage and storage (256x256-bit bank) ===")
-    for scheme in l1_schemes().values():
-        report = analyze_scheme(scheme, array_rows=256, array_data_columns=256)
+    reports = SESSION.run(ExperimentSpec("fig3.coverage")).data_dict()
+    for report in reports.values():
         print(
-            f"  {scheme.name:<26} correctable cluster "
-            f"{report.correctable_rows:>3} x {report.correctable_columns:<3}   "
-            f"storage overhead {100 * report.storage_overhead:5.1f}%"
+            f"  {report['scheme_name']:<26} correctable cluster "
+            f"{report['correctable_rows']:>3} x {report['correctable_columns']:<3}   "
+            f"storage overhead {100 * report['storage_overhead']:5.1f}%"
         )
 
 
 def show_vlsi_costs() -> None:
     print("\n=== Relative VLSI cost at 32x32 coverage (SECDED+Intv2 = 100%) ===")
-    for cache_label, costs in fig7_scheme_comparison().items():
+    costs_per_cache = SESSION.run(ExperimentSpec("fig7.schemes")).data_dict()
+    for cache_label, costs in costs_per_cache.items():
         print(f"  {cache_label}:")
         for cost in costs.values():
             print(
-                f"    {cost.name:<26} area {cost.code_area:6.0f}%   "
-                f"latency {cost.coding_latency:5.0f}%   power {cost.dynamic_power:6.0f}%"
+                f"    {cost['name']:<26} area {cost['code_area']:6.0f}%   "
+                f"latency {cost['coding_latency']:5.0f}%   "
+                f"power {cost['dynamic_power']:6.0f}%"
             )
 
 
 def show_performance_cost() -> None:
-    print("\n=== Expected IPC cost of 2D protection (fat CMP, OLTP) ===")
-    cmp_cfg = fat_cmp_config()
-    profile = get_profile("OLTP")
-    for key in ("l1", "l1_ps", "l2", "l1_ps_l2"):
-        comparison = compare_protection(
-            cmp_cfg, profile, PROTECTION_SCENARIOS[key], n_cycles=4_000, seed=11
-        )
-        print(f"  {PROTECTION_SCENARIOS[key].label:<42} {comparison.ipc_loss_percent:5.2f}% IPC loss")
+    print("\n=== Expected IPC cost of 2D protection (fat CMP) ===")
+    spec = ExperimentSpec("fig5.performance", seed=11, params={"n_cycles": 4_000})
+    losses = SESSION.run(spec).data_dict()["fat"]["OLTP"]
+    labels = {
+        "l1": "Protected L1 D-cache",
+        "l1_ps": "Protected L1 D-cache + port stealing",
+        "l2": "Protected L2",
+        "l1_ps_l2": "Protected L1 (PS) + protected L2",
+    }
+    for key, label in labels.items():
+        print(f"  {label:<42} {losses[key]:5.2f}% IPC loss (OLTP)")
 
 
 def show_yield_benefit() -> None:
     print("\n=== Yield of a 16MB L2 when ECC repairs single-bit hard faults ===")
-    curves = fig8_yield((0, 1000, 2000, 3000, 4000))
+    spec = ExperimentSpec(
+        "fig8.yield", params={"failing_cells": [0, 1000, 2000, 3000, 4000]}
+    )
+    curves = SESSION.run(spec).data_dict()
     cells = [int(c) for c in curves.pop("failing_cells")]
     header = "  failing cells:          " + "  ".join(f"{c:>6}" for c in cells)
     print(header)

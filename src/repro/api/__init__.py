@@ -1,0 +1,69 @@
+"""repro.api — the unified, declarative experiment surface.
+
+Everything the evaluation can compute is reachable through one path::
+
+    spec    = ExperimentSpec("fig3.coverage", backend="monte_carlo",
+                             trials=200_000, seed=2007)
+    session = Session(workers=4, cache_dir=".repro-cache")
+    result  = session.run(spec)          # -> Result (JSON/CSV-serializable)
+
+or, equivalently, from the command line::
+
+    python -m repro list
+    python -m repro run fig3.coverage --trials 200000 --json out.json
+
+Spec names map to the paper's figures as follows:
+
+=====================  ==========================  =========================
+Experiment name        Paper figure                Backends
+=====================  ==========================  =========================
+``fig1.storage``       Fig. 1(b) storage overhead  analytical
+``fig1.energy``        Fig. 1(c) energy overhead   analytical
+``fig2.interleaving``  Fig. 2(b)/(c) energy vs     analytical
+                       interleave degree
+``fig3.coverage``      Fig. 3 coverage + storage   analytical, monte_carlo
+``fig5.performance``   Fig. 5 IPC loss             analytical
+``fig6.access_breakdown``  Fig. 6 access mix       analytical
+``fig7.schemes``       Fig. 7 area/latency/power   analytical
+``fig8.yield``         Fig. 8(a) yield             analytical, monte_carlo
+``fig8.reliability``   Fig. 8(b) field survival    analytical
+``sweep.mc_coverage``  (beyond the paper) engine   monte_carlo
+                       coverage of any scheme
+``sweep.scheme_cost``  (beyond the paper) cost of  analytical
+                       any scheme subset
+=====================  ==========================  =========================
+
+Layer map: :mod:`~repro.api.spec` (declarative identity + content hash),
+:mod:`~repro.api.registry` (discovery), :mod:`~repro.api.catalog` (the
+standard experiments), :mod:`~repro.api.result` (serializable results),
+:mod:`~repro.api.session` (execution facade), :mod:`~repro.api.cli`
+(``python -m repro``).
+"""
+
+from .registry import (
+    Experiment,
+    UnknownExperimentError,
+    experiment,
+    get_experiment,
+    list_experiments,
+)
+from .result import Result, ResultError, Series
+from .session import ExperimentContext, Session, run
+from .spec import ExperimentSpec, SpecError, content_hash
+
+__all__ = [
+    "Experiment",
+    "UnknownExperimentError",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "Result",
+    "ResultError",
+    "Series",
+    "ExperimentContext",
+    "Session",
+    "run",
+    "ExperimentSpec",
+    "SpecError",
+    "content_hash",
+]

@@ -1,0 +1,654 @@
+"""The standard experiment catalog: every paper figure, plus sweeps.
+
+Importing this module populates the registry (:mod:`repro.api.registry`)
+with one entry per figure of the paper's evaluation and a set of
+parameterized sweep experiments.  Each implementation takes an
+:class:`~repro.api.session.ExperimentContext` and returns a
+:class:`~repro.api.result.Result` whose ``data`` payload has the
+figure's natural shape (JSON-pure, string keys) and whose ``series``
+normalize the same numbers for plotting/CSV export.
+
+The legacy ``fig*`` drivers in :mod:`repro.core.experiments` are thin
+deprecated shims over these registrations.
+"""
+
+from __future__ import annotations
+
+from repro.cmp import (
+    PROTECTION_SCENARIOS,
+    fat_cmp_config,
+    lean_cmp_config,
+    compare_protection,
+    simulate,
+)
+from repro.coding import code_overhead, standard_codes
+from repro.core.coverage import (
+    FIG3_MC_FOOTPRINTS,
+    analyze_scheme,
+    fig3_schemes,
+    monte_carlo_coverage,
+)
+from repro.core.schemes import CodingScheme, l1_schemes, l2_schemes
+from repro.errors.rates import PAPER_HARD_ERROR_RATES, PAPER_SOFT_ERROR_RATE
+from repro.reliability import (
+    FieldReliabilityModel,
+    MemoryGeometry,
+    ReliabilityScenario,
+    YieldModel,
+)
+from repro.vlsi import OptimizationTarget, SramArrayModel
+from repro.workloads import PAPER_WORKLOADS
+
+from .registry import experiment
+from .result import Series
+
+__all__ = ["FIG3_MC_FOOTPRINTS", "named_schemes"]
+
+#: The two array design points used throughout Figs. 1, 2 and 7.
+_L1_WORDS = 64 * 1024 * 8 // 64          # 64kB of 64-bit words
+_L2_WORDS = 4 * 1024 * 1024 * 8 // 256   # 4MB of 256-bit words
+
+def named_schemes() -> dict[str, CodingScheme]:
+    """Flat lookup table of every standard scheme, for sweep params.
+
+    Fig. 3 keys are exposed as-is; the Fig. 7 L1/L2 sets are prefixed
+    (``l1.baseline``, ``l2.dected``, ...).
+    """
+    schemes = dict(fig3_schemes())
+    schemes.update({f"l1.{key}": s for key, s in l1_schemes().items()})
+    schemes.update({f"l2.{key}": s for key, s in l2_schemes().items()})
+    return schemes
+
+
+def _mapping_series(name: str, mapping: dict, units: str = "") -> Series:
+    return Series(
+        name=name,
+        x=tuple(mapping),
+        y=tuple(mapping.values()),
+        units=units,
+    )
+
+
+def _estimate_payload(estimate) -> dict:
+    """JSON-pure form of a :class:`repro.engine.CoverageEstimate`."""
+    return {
+        "n": estimate.n,
+        "successes": estimate.successes,
+        "confidence": estimate.confidence,
+        "point": estimate.point,
+        "lower": estimate.lower,
+        "upper": estimate.upper,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — per-word ECC storage and energy overheads
+# ----------------------------------------------------------------------
+
+@experiment(
+    "fig1.storage",
+    description="Extra memory storage (%) per code, 64b and 256b words",
+    figure="Fig. 1(b)",
+)
+def _fig1_storage(ctx):
+    data = {
+        str(word_bits): {
+            name: 100.0 * code_overhead(code).storage_overhead
+            for name, code in standard_codes(word_bits).items()
+        }
+        for word_bits in (64, 256)
+    }
+    series = [
+        _mapping_series(f"{bits}b word", values, units="%")
+        for bits, values in data.items()
+    ]
+    return ctx.result(data, series)
+
+
+@experiment(
+    "fig1.energy",
+    description="Extra energy per read (%) per code vs unprotected array",
+    figure="Fig. 1(c)",
+)
+def _fig1_energy(ctx):
+    design_points = {
+        "64b word / 64kB array": (64, _L1_WORDS),
+        "256b word / 4MB array": (256, _L2_WORDS),
+    }
+    data: dict[str, dict[str, float]] = {}
+    for label, (word_bits, n_words) in design_points.items():
+        unprotected = SramArrayModel(word_bits, 0, n_words).read_energy()
+        per_code: dict[str, float] = {}
+        for name, code in standard_codes(word_bits).items():
+            overhead = code_overhead(code)
+            protected = SramArrayModel(word_bits, code.check_bits, n_words).read_energy()
+            extra = protected + overhead.coding_energy - unprotected
+            per_code[name] = 100.0 * extra / unprotected
+        data[label] = per_code
+    series = [_mapping_series(label, values, units="%") for label, values in data.items()]
+    return ctx.result(data, series)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — energy vs physical bit interleaving degree
+# ----------------------------------------------------------------------
+
+@experiment(
+    "fig2.interleaving",
+    description="Normalized read energy vs interleaving degree, per Cacti target",
+    figure="Fig. 2(b)/(c)",
+    defaults={"degrees": (1, 2, 4, 8, 16)},
+)
+def _fig2_interleaving(ctx):
+    degrees = tuple(int(d) for d in ctx.param("degrees"))
+    design_points = {
+        "64kB cache (72,64)": (64, 8, _L1_WORDS),
+        "4MB cache (266,256)": (256, 10, _L2_WORDS),
+    }
+    targets = {
+        "Delay+Area Opt": OptimizationTarget.DELAY_AREA,
+        "Power+Delay+Area Opt": OptimizationTarget.BALANCED,
+        "Power-only Opt": OptimizationTarget.POWER,
+    }
+    data: dict[str, dict[str, list[float]]] = {}
+    series = []
+    for label, (data_bits, check_bits, n_words) in design_points.items():
+        per_target: dict[str, list[float]] = {}
+        for target_label, target in targets.items():
+            energies = []
+            for degree in degrees:
+                model = SramArrayModel(
+                    data_bits, check_bits, n_words, interleave_degree=degree,
+                    optimization=target,
+                )
+                energies.append(model.read_energy())
+            base = energies[0]
+            normalized = [value / base for value in energies]
+            per_target[target_label] = normalized
+            series.append(
+                Series(f"{label} — {target_label}", y=normalized, x=degrees)
+            )
+        data[label] = per_target
+    return ctx.result(data, series, meta={"degrees": list(degrees)})
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — coverage vs storage for the 256x256 example array
+# ----------------------------------------------------------------------
+
+@experiment(
+    "fig3.coverage",
+    backend="analytical",
+    description="Correctable cluster footprint + storage overhead per scheme",
+    figure="Fig. 3",
+    defaults={"array_rows": 256, "array_data_columns": 256},
+)
+def _fig3_coverage(ctx):
+    rows = int(ctx.param("array_rows"))
+    columns = int(ctx.param("array_data_columns"))
+    reports = {
+        key: analyze_scheme(scheme, array_rows=rows, array_data_columns=columns)
+        for key, scheme in fig3_schemes().items()
+    }
+    data = {
+        key: {
+            "scheme_name": report.scheme_name,
+            "array_rows": report.array_rows,
+            "array_data_columns": report.array_data_columns,
+            "correctable_rows": report.correctable_rows,
+            "correctable_columns": report.correctable_columns,
+            "storage_overhead": report.storage_overhead,
+        }
+        for key, report in reports.items()
+    }
+    keys = tuple(data)
+    series = [
+        Series("correctable_rows", x=keys, y=[data[k]["correctable_rows"] for k in keys]),
+        Series(
+            "correctable_columns",
+            x=keys,
+            y=[data[k]["correctable_columns"] for k in keys],
+        ),
+        Series(
+            "storage_overhead",
+            x=keys,
+            y=[100.0 * data[k]["storage_overhead"] for k in keys],
+            units="%",
+        ),
+    ]
+    return ctx.result(data, series)
+
+
+def _normalized_footprints(raw) -> tuple[tuple[tuple[int, int], float], ...]:
+    return tuple(
+        ((int(shape[0]), int(shape[1])), float(weight)) for shape, weight in raw
+    )
+
+
+@experiment(
+    "fig3.coverage",
+    backend="monte_carlo",
+    defaults={
+        "trials": 2048,
+        "seed": 2007,
+        "footprints": FIG3_MC_FOOTPRINTS,
+        "array_rows": 256,
+        "array_data_columns": 256,
+    },
+)
+def _fig3_coverage_mc(ctx):
+    from repro.engine import ClusterErrorModel, EngineSpec, make_decoder
+
+    rows = int(ctx.param("array_rows"))
+    columns = int(ctx.param("array_data_columns"))
+    model = ClusterErrorModel(
+        footprints=_normalized_footprints(ctx.param("footprints"))
+    )
+    estimates: dict[str, dict] = {}
+    skipped: list[str] = []
+    for key, scheme in fig3_schemes().items():
+        try:
+            make_decoder(EngineSpec.from_scheme(scheme, rows=rows))
+        except ValueError:
+            # Scheme whose horizontal code has no vectorized decoder
+            # (OECNED); skip it rather than fall back to the slow path.
+            skipped.append(key)
+            continue
+        estimate = monte_carlo_coverage(
+            scheme,
+            array_rows=rows,
+            array_data_columns=columns,
+            n_trials=ctx.trials,
+            seed=ctx.seed,
+            model=model,
+            n_workers=ctx.session.workers,
+            cache=ctx.session.cache,
+            confidence=ctx.confidence,
+        )
+        estimates[key] = _estimate_payload(estimate)
+    keys = tuple(estimates)
+    series = [
+        Series(
+            "coverage",
+            x=keys,
+            y=[estimates[k]["point"] for k in keys],
+            lower=[estimates[k]["lower"] for k in keys],
+            upper=[estimates[k]["upper"] for k in keys],
+        )
+    ]
+    return ctx.result(
+        {"estimates": estimates, "skipped": skipped}, series
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6 — CMP performance and access breakdowns
+# ----------------------------------------------------------------------
+
+def _cmp_configs():
+    return {"fat": fat_cmp_config(), "lean": lean_cmp_config()}
+
+
+@experiment(
+    "fig5.performance",
+    description="IPC loss (%) per CMP, workload and protection scenario",
+    figure="Fig. 5",
+    defaults={"seed": 7, "n_cycles": 6_000},
+)
+def _fig5_performance(ctx):
+    n_cycles = int(ctx.param("n_cycles"))
+    scenarios = ("l1", "l1_ps", "l2", "l1_ps_l2")
+    data: dict[str, dict[str, dict[str, float]]] = {}
+    for cmp_name, cmp_cfg in _cmp_configs().items():
+        per_workload: dict[str, dict[str, float]] = {}
+        for workload, profile in PAPER_WORKLOADS.items():
+            losses = {}
+            for key in scenarios:
+                comparison = compare_protection(
+                    cmp_cfg, profile, PROTECTION_SCENARIOS[key], n_cycles, ctx.seed
+                )
+                losses[key] = comparison.ipc_loss_percent
+            per_workload[workload] = losses
+        data[cmp_name] = per_workload
+    workloads = tuple(PAPER_WORKLOADS)
+    series = [
+        Series(
+            f"{cmp_name}:{scenario}",
+            x=workloads,
+            y=[data[cmp_name][w][scenario] for w in workloads],
+            units="% IPC loss",
+        )
+        for cmp_name in data
+        for scenario in scenarios
+    ]
+    return ctx.result(data, series, meta={"n_cycles": n_cycles})
+
+
+@experiment(
+    "fig6.access_breakdown",
+    description="Cache accesses per 100 cycles, broken down by type",
+    figure="Fig. 6",
+    defaults={"seed": 7, "n_cycles": 6_000},
+)
+def _fig6_access_breakdown(ctx):
+    n_cycles = int(ctx.param("n_cycles"))
+    data: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    for cmp_name, cmp_cfg in _cmp_configs().items():
+        per_workload: dict[str, dict[str, dict[str, float]]] = {}
+        for workload, profile in PAPER_WORKLOADS.items():
+            sim = simulate(
+                cmp_cfg, profile, PROTECTION_SCENARIOS["l1_ps_l2"], n_cycles, ctx.seed
+            )
+            per_workload[workload] = {
+                "l1": sim.l1_breakdown.as_dict(),
+                "l2": sim.l2_breakdown.as_dict(),
+            }
+        data[cmp_name] = per_workload
+    workloads = tuple(PAPER_WORKLOADS)
+    series = []
+    for cmp_name, per_workload in data.items():
+        for level in ("l1", "l2"):
+            components = tuple(per_workload[workloads[0]][level])
+            for component in components:
+                series.append(
+                    Series(
+                        f"{cmp_name}:{level}:{component}",
+                        x=workloads,
+                        y=[per_workload[w][level][component] for w in workloads],
+                        units="accesses / 100 cycles",
+                    )
+                )
+    return ctx.result(data, series, meta={"n_cycles": n_cycles})
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — scheme comparison at equal (32-bit) coverage
+# ----------------------------------------------------------------------
+
+@experiment(
+    "fig7.schemes",
+    description="Relative code area / latency / power vs SECDED+Intv2 baseline",
+    figure="Fig. 7",
+)
+def _fig7_schemes(ctx):
+    data: dict[str, dict[str, dict]] = {}
+    series = []
+    for cache_label, (schemes, n_words) in {
+        "64kB L1 data cache": (l1_schemes(), _L1_WORDS),
+        "4MB L2 cache": (l2_schemes(), _L2_WORDS),
+    }.items():
+        baseline_cost = schemes["baseline"].cost(n_words)
+        costs = {
+            key: scheme.cost(n_words).normalized_to(baseline_cost)
+            for key, scheme in schemes.items()
+        }
+        data[cache_label] = {
+            key: {
+                "name": cost.name,
+                "code_area": cost.code_area,
+                "coding_latency": cost.coding_latency,
+                "dynamic_power": cost.dynamic_power,
+            }
+            for key, cost in costs.items()
+        }
+        keys = tuple(costs)
+        for metric in ("code_area", "coding_latency", "dynamic_power"):
+            series.append(
+                Series(
+                    f"{cache_label}:{metric}",
+                    x=keys,
+                    y=[data[cache_label][k][metric] for k in keys],
+                    units="% of baseline",
+                )
+            )
+    return ctx.result(data, series)
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — yield and in-the-field reliability
+# ----------------------------------------------------------------------
+
+@experiment(
+    "fig8.yield",
+    backend="analytical",
+    description="16MB L2 yield vs failing cells, ECC and/or spares",
+    figure="Fig. 8(a)",
+    defaults={"failing_cells": tuple(range(0, 4001, 200))},
+)
+def _fig8_yield(ctx):
+    failing_cells = [int(n) for n in ctx.param("failing_cells")]
+    model = YieldModel(MemoryGeometry.l2_16mb())
+    configurations = {
+        "Spare_128": {"ecc": False, "spares": 128},
+        "ECC Only": {"ecc": True, "spares": 0},
+        "ECC + Spare_16": {"ecc": True, "spares": 16},
+        "ECC + Spare_32": {"ecc": True, "spares": 32},
+    }
+    curves = model.sweep(failing_cells, configurations)
+    curves["failing_cells"] = [float(n) for n in failing_cells]
+    series = [
+        Series(label, x=failing_cells, y=values, units="yield")
+        for label, values in curves.items()
+        if label != "failing_cells"
+    ]
+    return ctx.result(curves, series)
+
+
+@experiment(
+    "fig8.yield",
+    backend="monte_carlo",
+    defaults={
+        "trials": 512,
+        "seed": 1946,
+        "failing_cells": tuple(range(0, 41, 8)),
+        "rows": 64,
+    },
+)
+def _fig8_yield_mc(ctx):
+    """Engine-backed validation of the ECC-only yield model.
+
+    The analytical curve treats manufacture-time faults as uniformly
+    distributed cells and a word as dead once it holds two or more
+    faults.  This experiment checks that claim by *simulating* it on a
+    scaled-down SECDED-protected bank (``rows`` x 4 words of 64 bits)
+    and comparing against the analytical yield of the same geometry.
+    """
+    from repro.engine import EngineSpec, RandomCellsModel
+
+    failing_cells = [int(n) for n in ctx.param("failing_cells")]
+    rows = int(ctx.param("rows"))
+    words_per_row = 4
+    spec = EngineSpec(
+        rows=rows,
+        data_bits=64,
+        interleave_degree=words_per_row,
+        horizontal_code="SECDED",
+        vertical_groups=None,
+    )
+    geometry = MemoryGeometry(
+        capacity_bits=spec.n_words * 64, word_bits=64, words_per_row=words_per_row
+    )
+    model = YieldModel(geometry)
+
+    curves: dict[str, list[float]] = {
+        "failing_cells": [float(n) for n in failing_cells],
+        "analytical": [],
+        "simulated": [],
+        "simulated_lower": [],
+        "simulated_upper": [],
+    }
+    for n_cells in failing_cells:
+        curves["analytical"].append(model.yield_with_ecc_only(n_cells))
+        result = ctx.run_engine(
+            spec, RandomCellsModel(n_cells), seed=ctx.seed + n_cells
+        )
+        estimate = result.estimate(ctx.confidence)
+        curves["simulated"].append(estimate.point)
+        curves["simulated_lower"].append(estimate.lower)
+        curves["simulated_upper"].append(estimate.upper)
+    series = [
+        Series("analytical", x=failing_cells, y=curves["analytical"], units="yield"),
+        Series(
+            "simulated",
+            x=failing_cells,
+            y=curves["simulated"],
+            lower=curves["simulated_lower"],
+            upper=curves["simulated_upper"],
+            units="yield",
+        ),
+    ]
+    return ctx.result(curves, series, meta={"rows": rows})
+
+
+@experiment(
+    "fig8.reliability",
+    description="Probability of successful correction over deployment years",
+    figure="Fig. 8(b)",
+    defaults={"years": (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)},
+)
+def _fig8_reliability(ctx):
+    years = [float(y) for y in ctx.param("years")]
+    model = FieldReliabilityModel(ReliabilityScenario(), PAPER_SOFT_ERROR_RATE)
+    curves: dict[str, list[float]] = {"years": years}
+    curves["With 2D coding"] = model.survival_curve(
+        years, PAPER_HARD_ERROR_RATES["0.001%"], with_2d_coding=True
+    )
+    for label, rate in PAPER_HARD_ERROR_RATES.items():
+        curves[f"Without 2D, HER={label}"] = model.survival_curve(
+            years, rate, with_2d_coding=False
+        )
+    series = [
+        Series(label, x=years, y=values, units="P[all correctable]")
+        for label, values in curves.items()
+        if label != "years"
+    ]
+    return ctx.result(curves, series)
+
+
+# ----------------------------------------------------------------------
+# Parameterized sweeps beyond the paper's figures
+# ----------------------------------------------------------------------
+
+@experiment(
+    "sweep.mc_coverage",
+    backend="monte_carlo",
+    description="Engine coverage of any named scheme under a chosen error model",
+    defaults={
+        "trials": 4096,
+        "seed": 1,
+        "scheme": "2d_edc8_edc32",
+        "rows": 256,
+        "model": "cluster",
+    },
+    params=("footprints", "height", "width", "n_cells"),
+)
+def _sweep_mc_coverage(ctx):
+    """Coverage probability of one scheme/geometry/error-model point.
+
+    ``scheme`` is any :func:`named_schemes` key; ``model`` is
+    ``"cluster"`` (optionally with ``footprints``), ``"fixed"`` (with
+    ``height``/``width``) or ``"random_cells"`` (with ``n_cells``).
+    """
+    from repro.engine import (
+        ClusterErrorModel,
+        EngineSpec,
+        FixedClusterModel,
+        RandomCellsModel,
+    )
+
+    scheme_key = str(ctx.param("scheme"))
+    schemes = named_schemes()
+    if scheme_key not in schemes:
+        raise ValueError(
+            f"unknown scheme {scheme_key!r}; pick one of {', '.join(sorted(schemes))}"
+        )
+    scheme = schemes[scheme_key]
+    rows = int(ctx.param("rows"))
+
+    kind = str(ctx.param("model"))
+    if kind == "cluster":
+        footprints = ctx.param("footprints", FIG3_MC_FOOTPRINTS)
+        model = ClusterErrorModel(footprints=_normalized_footprints(footprints))
+    elif kind == "fixed":
+        model = FixedClusterModel(
+            height=int(ctx.param("height", 8)), width=int(ctx.param("width", 8))
+        )
+    elif kind == "random_cells":
+        model = RandomCellsModel(n_cells=int(ctx.param("n_cells", 2)))
+    else:
+        raise ValueError(
+            f"unknown error model {kind!r}; use cluster, fixed or random_cells"
+        )
+
+    spec = EngineSpec.from_scheme(scheme, rows=rows)
+    result = ctx.run_engine(spec, model)
+    estimate = result.estimate(ctx.confidence)
+    counts = result.counts.as_dict()
+    data = {
+        "scheme": scheme_key,
+        "scheme_name": scheme.name,
+        "engine_spec": spec.to_key(),
+        "error_model": model.to_key(),
+        "counts": counts,
+        "estimate": _estimate_payload(estimate),
+    }
+    series = [
+        Series(
+            "coverage",
+            x=(scheme_key,),
+            y=(estimate.point,),
+            lower=(estimate.lower,),
+            upper=(estimate.upper,),
+        )
+    ]
+    return ctx.result(data, series)
+
+
+@experiment(
+    "sweep.scheme_cost",
+    description="Composed VLSI cost of any named scheme vs a chosen baseline",
+    defaults={"cache": "l1"},
+    params=("n_words", "schemes"),
+)
+def _sweep_scheme_cost(ctx):
+    """Fig. 7-style cost comparison over an arbitrary scheme subset.
+
+    ``cache`` selects the L1 or L2 scheme set; ``schemes`` (optional)
+    restricts to a subset of its keys; ``n_words`` sets the array size.
+    """
+    cache = str(ctx.param("cache"))
+    if cache == "l1":
+        table = l1_schemes()
+        default_words = _L1_WORDS
+    elif cache == "l2":
+        table = l2_schemes()
+        default_words = _L2_WORDS
+    else:
+        raise ValueError(f"cache must be 'l1' or 'l2', got {cache!r}")
+    n_words = int(ctx.param("n_words", default_words))
+    subset = ctx.param("schemes")
+    keys = list(table) if subset is None else [str(k) for k in subset]
+    unknown = [k for k in keys if k not in table]
+    if unknown:
+        raise ValueError(f"unknown scheme keys for {cache}: {', '.join(unknown)}")
+
+    baseline = table["baseline"].cost(n_words)
+    data = {}
+    for key in keys:
+        cost = table[key].cost(n_words).normalized_to(baseline)
+        data[key] = {
+            "name": cost.name,
+            "code_area": cost.code_area,
+            "coding_latency": cost.coding_latency,
+            "dynamic_power": cost.dynamic_power,
+        }
+    series = [
+        Series(
+            metric,
+            x=tuple(keys),
+            y=[data[k][metric] for k in keys],
+            units="% of baseline",
+        )
+        for metric in ("code_area", "coding_latency", "dynamic_power")
+    ]
+    return ctx.result(data, series, meta={"cache": cache, "n_words": n_words})

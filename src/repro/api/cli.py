@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro``.
+
+Two subcommands:
+
+``list``
+    Enumerate every registered experiment with its backends, defaults
+    and the paper figure it reproduces.
+
+``run NAME``
+    Execute one experiment through the :class:`~repro.api.session.Session`
+    facade and print a summary table; ``--json``/``--csv`` write the
+    serialized :class:`~repro.api.result.Result` to files (``-`` for
+    stdout).  Example::
+
+        python -m repro run fig3.coverage --trials 200000 --json out.json
+
+Exit status: 0 on success, 2 on usage errors (including unknown
+experiment names), 1 on execution failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .registry import UnknownExperimentError, list_experiments
+from .result import Result
+from .session import Session
+from .spec import ExperimentSpec, SpecError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's experiments through the unified API.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lister = sub.add_parser("list", help="list registered experiments")
+    lister.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+
+    runner = sub.add_parser("run", help="run one experiment")
+    runner.add_argument("experiment", help="registry name, e.g. fig3.coverage")
+    runner.add_argument(
+        "--backend",
+        choices=("auto", "analytical", "monte_carlo"),
+        default="auto",
+        help="backend to use (default: auto — analytical unless --trials is set)",
+    )
+    runner.add_argument("--trials", type=int, help="Monte Carlo trial count")
+    runner.add_argument("--seed", type=int, help="root RNG seed")
+    runner.add_argument(
+        "--confidence", type=float, default=0.95, help="Wilson CI level"
+    )
+    runner.add_argument(
+        "--workers", type=int, default=1, help="engine worker processes"
+    )
+    runner.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk engine result cache directory (disabled when omitted)",
+    )
+    runner.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment-specific parameter (VALUE parsed as JSON when possible; "
+        "repeatable)",
+    )
+    runner.add_argument(
+        "--json", metavar="PATH", help="write the Result as JSON ('-' for stdout)"
+    )
+    runner.add_argument(
+        "--csv", metavar="PATH", help="write the Result as CSV ('-' for stdout)"
+    )
+    runner.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary table"
+    )
+    return parser
+
+
+def _parse_params(pairs: "list[str]") -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SpecError(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw  # bare strings need no quoting
+    return params
+
+
+def _print_listing(as_json: bool, out) -> None:
+    experiments = list_experiments()
+    if as_json:
+        payload = [
+            {
+                "name": exp.name,
+                "backends": list(exp.backends),
+                "figure": exp.figure,
+                "description": exp.description,
+                "defaults": {b: exp.defaults_for(b) for b in exp.backends},
+            }
+            for exp in experiments
+        ]
+        json.dump(payload, out, indent=2, sort_keys=True, default=list)
+        out.write("\n")
+        return
+    width = max(len(exp.name) for exp in experiments)
+    bwidth = max(len(", ".join(exp.backends)) for exp in experiments)
+    for exp in experiments:
+        figure = f" [{exp.figure}]" if exp.figure else ""
+        print(
+            f"{exp.name:<{width}}  {', '.join(exp.backends):<{bwidth}}  "
+            f"{exp.description}{figure}",
+            file=out,
+        )
+
+
+def _print_summary(result: Result, out) -> None:
+    print(f"experiment: {result.experiment} ({result.backend})", file=out)
+    print(f"spec hash:  {result.spec_hash[:16]}…", file=out)
+    for series in result.series:
+        suffix = f" [{series.units}]" if series.units else ""
+        print(f"  {series.name}{suffix}", file=out)
+        xs = series.x if series.x else tuple(range(len(series.y)))
+        for i, (x, y) in enumerate(zip(xs, series.y)):
+            bounds = ""
+            if series.lower is not None and series.upper is not None:
+                bounds = f"  [{series.lower[i]:.6g}, {series.upper[i]:.6g}]"
+            print(f"    {x}: {y:.6g}{bounds}", file=out)
+
+
+def _write(path: str, text: str) -> None:
+    if path == "-":
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _print_listing(args.json, sys.stdout)
+        return 0
+
+    try:
+        spec = ExperimentSpec(
+            experiment=args.experiment,
+            backend=args.backend,
+            trials=args.trials,
+            seed=args.seed,
+            confidence=args.confidence,
+            params=_parse_params(args.param),
+        )
+        session = Session(workers=args.workers, cache_dir=args.cache_dir)
+        result = session.run(spec)
+    except (UnknownExperimentError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        _print_summary(result, sys.stdout)
+    if args.json:
+        _write(args.json, result.to_json(indent=2))
+    if args.csv:
+        _write(args.csv, result.to_csv())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

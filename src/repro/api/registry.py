@@ -1,0 +1,153 @@
+"""Decorator-based experiment registry.
+
+Experiments register themselves under a dotted name — ``"fig3.coverage"``,
+``"sweep.mc_coverage"`` — with one implementation per backend::
+
+    @experiment("fig3.coverage", backend="analytical",
+                description="Correctable footprint + storage (Fig. 3)")
+    def _fig3_analytical(ctx: ExperimentContext) -> Result: ...
+
+    @experiment("fig3.coverage", backend="monte_carlo",
+                defaults={"trials": 2048, "seed": 2007})
+    def _fig3_monte_carlo(ctx: ExperimentContext) -> Result: ...
+
+The registry is the discovery surface of the whole evaluation:
+:func:`list_experiments` enumerates every paper figure and sweep, and
+:meth:`repro.api.session.Session.run` resolves a spec's name/backend to
+the right implementation.  Unknown names raise
+:class:`UnknownExperimentError` with a close-match suggestion.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "Experiment",
+    "UnknownExperimentError",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+]
+
+#: Preference order when a spec asks for ``backend="auto"``.
+_BACKEND_ORDER = ("analytical", "monte_carlo")
+
+
+class UnknownExperimentError(KeyError):
+    """Requested experiment name is not in the registry."""
+
+    def __init__(self, name: str, known: "tuple[str, ...]" = ()):
+        self.name = name
+        self.known = known
+        message = f"unknown experiment {name!r}"
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        if suggestions:
+            message += f"; did you mean: {', '.join(suggestions)}?"
+        elif known:
+            message += f" (run `python -m repro list` for the {len(known)} available)"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message clean
+        return self.args[0]
+
+
+#: Spec fields with dedicated slots — never accepted as named params.
+_RESERVED_PARAMS = frozenset({"trials", "seed", "confidence"})
+
+
+@dataclass
+class Experiment:
+    """One registered experiment: name, docs, per-backend implementations."""
+
+    name: str
+    description: str = ""
+    figure: str = ""
+    impls: "dict[str, Callable]" = field(default_factory=dict)
+    defaults: "dict[str, dict]" = field(default_factory=dict)
+    params: "dict[str, frozenset]" = field(default_factory=dict)
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        return tuple(b for b in _BACKEND_ORDER if b in self.impls)
+
+    def impl_for(self, backend: str) -> Callable:
+        try:
+            return self.impls[backend]
+        except KeyError:
+            raise UnknownExperimentError(
+                f"{self.name}[{backend}]", tuple(self.impls)
+            ) from None
+
+    def defaults_for(self, backend: str) -> dict:
+        return dict(self.defaults.get(backend, {}))
+
+    def params_for(self, backend: str) -> frozenset:
+        """The param names this backend accepts (a typo guard for specs)."""
+        return self.params.get(backend, frozenset())
+
+
+_REGISTRY: "dict[str, Experiment]" = {}
+
+
+def experiment(
+    name: str,
+    *,
+    backend: str = "analytical",
+    description: str = "",
+    figure: str = "",
+    defaults: "Mapping[str, Any] | None" = None,
+    params: "tuple[str, ...]" = (),
+) -> Callable:
+    """Register the decorated callable as ``name``'s ``backend`` implementation.
+
+    ``defaults`` provides per-backend fallbacks for ``trials``/``seed``
+    and named params, applied when the spec leaves them unset; ``params``
+    declares additional accepted param names that have no default.
+    Specs naming any other param are rejected at ``Session.run`` time
+    (so a CLI typo cannot silently run the defaults).  The callable
+    receives an :class:`repro.api.session.ExperimentContext` and
+    returns a :class:`repro.api.result.Result`.
+    """
+    if backend not in _BACKEND_ORDER:
+        raise ValueError(f"backend must be one of {_BACKEND_ORDER}, got {backend!r}")
+
+    def decorate(func: Callable) -> Callable:
+        entry = _REGISTRY.setdefault(name, Experiment(name=name))
+        if backend in entry.impls:
+            raise ValueError(f"experiment {name!r} already has a {backend!r} backend")
+        entry.impls[backend] = func
+        entry.defaults[backend] = dict(defaults or {})
+        entry.params[backend] = (
+            frozenset(params) | set(entry.defaults[backend])
+        ) - _RESERVED_PARAMS
+        if description and not entry.description:
+            entry.description = description
+        if figure and not entry.figure:
+            entry.figure = figure
+        return func
+
+    return decorate
+
+
+def _ensure_catalog_loaded() -> None:
+    # The standard catalog registers on import; keep it lazy so that
+    # `import repro.api.registry` alone has no heavy dependencies.
+    from . import catalog  # noqa: F401
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment; raises :class:`UnknownExperimentError`."""
+    _ensure_catalog_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(name, tuple(sorted(_REGISTRY))) from None
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments, sorted by name."""
+    _ensure_catalog_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,247 @@
+"""The ``Session.run()`` facade over analytical and Monte Carlo backends.
+
+A :class:`Session` holds everything about *how* experiments execute —
+worker-process count, the on-disk result cache, progress hooks — so
+those are configured once, not threaded through every call.  *What* to
+run is entirely described by the :class:`~repro.api.spec.ExperimentSpec`
+(or just an experiment name plus keyword overrides)::
+
+    from repro.api import ExperimentSpec, Session
+
+    session = Session(workers=4, cache_dir=".repro-cache")
+    result = session.run(ExperimentSpec("fig3.coverage",
+                                        backend="monte_carlo",
+                                        trials=200_000, seed=2007))
+    result.save_json("fig3.json")
+
+``run`` resolves the spec's experiment in the registry, picks the
+backend (``auto`` prefers analytical; Monte Carlo when ``trials`` is
+set), executes the implementation with an :class:`ExperimentContext`,
+and returns a serializable :class:`~repro.api.result.Result`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from .registry import Experiment, get_experiment
+from .result import Result, Series
+from .spec import ExperimentSpec, SpecError
+
+__all__ = ["ExperimentContext", "Session", "run"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment implementation needs at run time.
+
+    Bridges the declarative spec and the session's execution resources:
+    parameter lookup with registered defaults, and an engine entry point
+    that applies the session's workers/cache automatically.
+    """
+
+    spec: ExperimentSpec
+    backend: str
+    session: "Session"
+    experiment: Experiment
+    _defaults: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._defaults = self.experiment.defaults_for(self.backend)
+
+    # ------------------------------------------------------------------
+    @property
+    def trials(self) -> "int | None":
+        return self.spec.trials if self.spec.trials is not None else self._defaults.get("trials")
+
+    @property
+    def seed(self) -> "int | None":
+        return self.spec.seed if self.spec.seed is not None else self._defaults.get("seed")
+
+    @property
+    def confidence(self) -> float:
+        return self.spec.confidence
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Spec param if given, else the experiment's registered default."""
+        return self.spec.param_dict().get(name, self._defaults.get(name, default))
+
+    # ------------------------------------------------------------------
+    def run_engine(
+        self,
+        engine_spec,
+        model,
+        *,
+        trials: "int | None" = None,
+        seed: "int | None" = None,
+        collect_verdicts: bool = False,
+    ):
+        """Run the vectorized Monte Carlo engine under session settings.
+
+        ``trials``/``seed`` default to the spec's values (with the
+        experiment's registered fallbacks); pass ``seed`` explicitly
+        for per-sweep-point derived seeds.
+        """
+        from repro.engine import run_experiment
+
+        trials = self.trials if trials is None else trials
+        seed = self.seed if seed is None else seed
+        if trials is None or seed is None:
+            raise SpecError(
+                f"{self.spec.experiment}: Monte Carlo runs need trials and seed "
+                "(set them on the spec or register defaults)"
+            )
+        return run_experiment(
+            engine_spec,
+            model,
+            trials,
+            seed,
+            n_workers=self.session.workers,
+            cache=self.session.cache,
+            collect_verdicts=collect_verdicts,
+        )
+
+    def result(
+        self,
+        data: Any,
+        series: "tuple[Series, ...] | list[Series]" = (),
+        meta: "Mapping | None" = None,
+    ) -> Result:
+        """Package a payload as this run's :class:`Result` (with provenance)."""
+        return Result(
+            experiment=self.spec.experiment,
+            backend=self.backend,
+            spec=self.spec,
+            data=data,
+            series=tuple(series),
+            meta=meta or {},
+        )
+
+
+class Session:
+    """Configured execution environment for experiment runs.
+
+    Parameters
+    ----------
+    workers:
+        Process count for Monte Carlo engine runs (1 = in-process).
+    cache_dir:
+        Directory for the on-disk engine result cache; ``None`` disables
+        caching.  Keys are routed through
+        :meth:`ExperimentSpec.content_hash`, so runs at any worker count
+        share entries.
+    progress:
+        Optional callable receiving event dicts
+        (``{"event": "start"|"finish", "experiment", "backend",
+        "spec_hash", "elapsed"}``) around every run; a failed run's
+        ``finish`` event carries an additional ``error`` field.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: "str | Path | None" = None,
+        progress: "Callable[[dict], None] | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.progress = progress
+        self._cache = None
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    @property
+    def cache(self):
+        """The session's :class:`repro.engine.ResultCache` (or ``None``)."""
+        if self._cache is None and self._cache_dir is not None:
+            from repro.engine import ResultCache
+
+            self._cache = ResultCache(self._cache_dir)
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _emit(self, payload: dict) -> None:
+        if self.progress is not None:
+            self.progress(payload)
+
+    def run(self, spec: "ExperimentSpec | str", /, **overrides: Any) -> Result:
+        """Execute one experiment and return its :class:`Result`.
+
+        ``spec`` may be a full :class:`ExperimentSpec` or just an
+        experiment name; keyword overrides build/replace spec fields
+        (``trials=...``, ``params={...}`` etc.) either way.
+        """
+        if isinstance(spec, str):
+            spec = ExperimentSpec(spec, **overrides)
+        elif overrides:
+            spec = spec.replaced(**overrides)
+        experiment = get_experiment(spec.experiment)
+        backend = spec.resolve_backend(experiment.backends)
+        unknown = set(spec.param_dict()) - experiment.params_for(backend)
+        if unknown:
+            accepted = sorted(experiment.params_for(backend))
+            raise SpecError(
+                f"{spec.experiment}[{backend}] does not accept param(s) "
+                f"{', '.join(sorted(unknown))}"
+                + (f"; accepted: {', '.join(accepted)}" if accepted else "")
+            )
+        if backend == "analytical":
+            # The statistical knobs are hard errors rather than silently
+            # ignored inputs: an unused knob would still enter the spec's
+            # provenance hash and mislead about what was computed.
+            defaults = experiment.defaults_for(backend)
+            if spec.trials is not None:
+                raise SpecError(
+                    f"{spec.experiment}: trials only applies to the "
+                    "monte_carlo backend (the analytical model is exact)"
+                )
+            if spec.seed is not None and "seed" not in defaults:
+                raise SpecError(
+                    f"{spec.experiment}[{backend}] is deterministic and "
+                    "takes no seed"
+                )
+            if spec.confidence != 0.95:
+                raise SpecError(
+                    f"{spec.experiment}: confidence only applies to the "
+                    "monte_carlo backend (analytical values carry no interval)"
+                )
+        impl = experiment.impl_for(backend)
+        context = ExperimentContext(
+            spec=spec, backend=backend, session=self, experiment=experiment
+        )
+        info = {
+            "experiment": spec.experiment,
+            "backend": backend,
+            "spec_hash": spec.content_hash(),
+        }
+        self._emit({"event": "start", **info, "elapsed": 0.0})
+        started = time.perf_counter()
+        try:
+            result = impl(context)
+        except BaseException as exc:
+            # Progress consumers pair start/finish events; a failed run
+            # must still deliver its terminal event.
+            self._emit({
+                "event": "finish",
+                **info,
+                "elapsed": time.perf_counter() - started,
+                "error": repr(exc),
+            })
+            raise
+        self._emit(
+            {"event": "finish", **info, "elapsed": time.perf_counter() - started}
+        )
+        return result
+
+    def run_all(self, specs) -> "list[Result]":
+        """Run several specs in order; a simple sweep driver."""
+        return [self.run(spec) for spec in specs]
+
+
+def run(spec: "ExperimentSpec | str", /, **overrides: Any) -> Result:
+    """One-shot convenience: run under a default single-worker session."""
+    return Session().run(spec, **overrides)

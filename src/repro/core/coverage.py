@@ -27,10 +27,25 @@ if TYPE_CHECKING:
 
 __all__ = [
     "CoverageReport",
+    "FIG3_MC_FOOTPRINTS",
     "analyze_scheme",
     "fig3_schemes",
     "monte_carlo_coverage",
 ]
+
+#: Clustered-error workload for the Monte Carlo version of Fig. 3: the
+#: mostly-single-bit event mix of :mod:`repro.errors` extended with a
+#: tail of large clusters reaching the 2D scheme's full 32x32 claimed
+#: coverage — exactly the regime Fig. 3 contrasts the schemes on.
+FIG3_MC_FOOTPRINTS: tuple[tuple[tuple[int, int], float], ...] = (
+    ((1, 1), 0.60),
+    ((1, 2), 0.08),
+    ((2, 2), 0.08),
+    ((4, 4), 0.08),
+    ((8, 8), 0.06),
+    ((16, 16), 0.05),
+    ((32, 32), 0.05),
+)
 
 
 @dataclass(frozen=True)

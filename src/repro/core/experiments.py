@@ -1,39 +1,30 @@
-"""Experiment drivers: one function per table/figure of the paper.
+"""Deprecated per-figure experiment drivers (thin shims over ``repro.api``).
 
-Each function regenerates the data series behind one figure of the
-evaluation section using the library's models.  The benchmark harness in
-``benchmarks/`` calls these functions, prints the same rows/series the
-paper reports, and asserts the qualitative relations (who wins, by roughly
-what factor) that define a successful reproduction.
+The computation behind every figure now lives in the declarative
+experiment catalog (:mod:`repro.api.catalog`) and runs through the
+:class:`repro.api.Session` facade; these wrappers keep the historical
+``fig*`` call signatures and return shapes working.  New code should run
+experiments through the API instead::
+
+    from repro.api import ExperimentSpec, Session
+    result = Session().run(ExperimentSpec("fig3.coverage"))
+
+Each shim simply runs its registry counterpart and converts the
+uniform :class:`repro.api.Result` payload back into the legacy nested
+dict / dataclass shapes.  They emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.cmp import (
-    PROTECTION_SCENARIOS,
-    CmpConfig,
-    fat_cmp_config,
-    lean_cmp_config,
-    compare_protection,
-    simulate,
-)
-from repro.coding import code_overhead, standard_codes
-from repro.errors.rates import PAPER_HARD_ERROR_RATES, PAPER_SOFT_ERROR_RATE
-from repro.reliability import (
-    FieldReliabilityModel,
-    MemoryGeometry,
-    ReliabilityScenario,
-    YieldModel,
-)
-from repro.vlsi import OptimizationTarget, SramArrayModel
-from repro.workloads import PAPER_WORKLOADS
+from repro.api import ExperimentSpec, Session
 
-from .coverage import CoverageReport, analyze_scheme, fig3_schemes, monte_carlo_coverage
-from .schemes import SchemeCost, l1_schemes, l2_schemes
+from .coverage import FIG3_MC_FOOTPRINTS, CoverageReport
+from .schemes import SchemeCost
 
 __all__ = [
+    "FIG3_MC_FOOTPRINTS",
     "fig1_storage_overhead",
     "fig1_energy_overhead",
     "fig2_interleaving_energy",
@@ -47,113 +38,59 @@ __all__ = [
     "fig8_reliability",
 ]
 
-#: The two array design points used throughout Figs. 1, 2 and 7.
-_L1_WORDS = 64 * 1024 * 8 // 64          # 64kB of 64-bit words
-_L2_WORDS = 4 * 1024 * 1024 * 8 // 256   # 4MB of 256-bit words
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.experiments.{name}() is deprecated; run "
+        f"Session().run(ExperimentSpec({replacement!r})) from repro.api instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _run(spec: ExperimentSpec, *, workers: int = 1, cache_dir=None):
+    return Session(workers=workers, cache_dir=cache_dir).run(spec)
 
 
 # ----------------------------------------------------------------------
-# Figure 1 — per-word ECC storage and energy overheads
+# Figure 1
 # ----------------------------------------------------------------------
 
 def fig1_storage_overhead() -> dict[int, dict[str, float]]:
     """Extra memory storage (%) per code, for 64-bit and 256-bit words."""
-    results: dict[int, dict[str, float]] = {}
-    for word_bits in (64, 256):
-        results[word_bits] = {
-            name: 100.0 * code_overhead(code).storage_overhead
-            for name, code in standard_codes(word_bits).items()
-        }
-    return results
+    _deprecated("fig1_storage_overhead", "fig1.storage")
+    data = _run(ExperimentSpec("fig1.storage")).data_dict()
+    return {int(bits): values for bits, values in data.items()}
 
 
 def fig1_energy_overhead() -> dict[str, dict[str, float]]:
-    """Extra energy per read (%) of each code, relative to an unprotected array.
-
-    The two design points match the paper: 64-bit words in a 64kB array
-    and 256-bit words in a 4MB array.
-    """
-    design_points = {
-        "64b word / 64kB array": (64, _L1_WORDS),
-        "256b word / 4MB array": (256, _L2_WORDS),
-    }
-    results: dict[str, dict[str, float]] = {}
-    for label, (word_bits, n_words) in design_points.items():
-        unprotected = SramArrayModel(word_bits, 0, n_words).read_energy()
-        per_code: dict[str, float] = {}
-        for name, code in standard_codes(word_bits).items():
-            overhead = code_overhead(code)
-            protected = SramArrayModel(word_bits, code.check_bits, n_words).read_energy()
-            extra = protected + overhead.coding_energy - unprotected
-            per_code[name] = 100.0 * extra / unprotected
-        results[label] = per_code
-    return results
+    """Extra energy per read (%) of each code, relative to an unprotected array."""
+    _deprecated("fig1_energy_overhead", "fig1.energy")
+    return _run(ExperimentSpec("fig1.energy")).data_dict()
 
 
 # ----------------------------------------------------------------------
-# Figure 2 — energy vs physical bit interleaving degree
+# Figure 2
 # ----------------------------------------------------------------------
 
 def fig2_interleaving_energy(
     degrees: tuple[int, ...] = (1, 2, 4, 8, 16)
 ) -> dict[str, dict[str, list[float]]]:
-    """Normalized read energy vs interleaving degree for the two caches.
-
-    Matches Fig. 2(b)/(c): (72,64) SECDED words in a 64kB cache and
-    (266,256) SECDED words in a 4MB cache, for several Cacti optimization
-    targets.  Each series is normalized to its own 1:1 point.
-    """
-    design_points = {
-        "64kB cache (72,64)": (64, 8, _L1_WORDS),
-        "4MB cache (266,256)": (256, 10, _L2_WORDS),
-    }
-    targets = {
-        "Delay+Area Opt": OptimizationTarget.DELAY_AREA,
-        "Power+Delay+Area Opt": OptimizationTarget.BALANCED,
-        "Power-only Opt": OptimizationTarget.POWER,
-    }
-    results: dict[str, dict[str, list[float]]] = {}
-    for label, (data_bits, check_bits, n_words) in design_points.items():
-        per_target: dict[str, list[float]] = {}
-        for target_label, target in targets.items():
-            series = []
-            for degree in degrees:
-                model = SramArrayModel(
-                    data_bits, check_bits, n_words, interleave_degree=degree,
-                    optimization=target,
-                )
-                series.append(model.read_energy())
-            base = series[0]
-            per_target[target_label] = [value / base for value in series]
-        results[label] = per_target
-    return results
+    """Normalized read energy vs interleaving degree for the two caches."""
+    _deprecated("fig2_interleaving_energy", "fig2.interleaving")
+    spec = ExperimentSpec("fig2.interleaving", params={"degrees": list(degrees)})
+    return _run(spec).data_dict()
 
 
 # ----------------------------------------------------------------------
-# Figure 3 — coverage vs storage for the 256x256 example array
+# Figure 3
 # ----------------------------------------------------------------------
 
 def fig3_coverage() -> dict[str, CoverageReport]:
     """Coverage and storage overhead of the three Fig. 3 schemes."""
-    return {
-        key: analyze_scheme(scheme, array_rows=256, array_data_columns=256)
-        for key, scheme in fig3_schemes().items()
-    }
-
-
-#: Clustered-error workload for the Monte Carlo version of Fig. 3: the
-#: mostly-single-bit event mix of :mod:`repro.errors` extended with a
-#: tail of large clusters reaching the 2D scheme's full 32x32 claimed
-#: coverage — exactly the regime Fig. 3 contrasts the schemes on.
-FIG3_MC_FOOTPRINTS: tuple[tuple[tuple[int, int], float], ...] = (
-    ((1, 1), 0.60),
-    ((1, 2), 0.08),
-    ((2, 2), 0.08),
-    ((4, 4), 0.08),
-    ((8, 8), 0.06),
-    ((16, 16), 0.05),
-    ((32, 32), 0.05),
-)
+    _deprecated("fig3_coverage", "fig3.coverage")
+    data = _run(ExperimentSpec("fig3.coverage")).data_dict()
+    return {key: CoverageReport(**fields) for key, fields in data.items()}
 
 
 def fig3_coverage_monte_carlo(
@@ -163,128 +100,76 @@ def fig3_coverage_monte_carlo(
     cache_dir: "str | None" = None,
     confidence: float = 0.95,
 ) -> dict:
-    """Monte Carlo coverage probabilities behind Fig. 3 (engine-backed).
+    """Monte Carlo coverage probabilities behind Fig. 3 (engine-backed)."""
+    from repro.engine import CoverageEstimate
 
-    Runs the vectorized fault-injection engine over the 256x256-bit
-    example array for the Fig. 3 schemes that have vectorized decoders
-    (the 2D EDC8/EDC32 configuration and interleaved SECDED; OECNED has
-    no batch decoder yet and is skipped).  Returns a mapping of scheme
-    key to :class:`repro.engine.CoverageEstimate`.
-    """
-    from repro.engine import ClusterErrorModel, EngineSpec, ResultCache, make_decoder
-
-    model = ClusterErrorModel(footprints=FIG3_MC_FOOTPRINTS)
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    estimates = {}
-    for key, scheme in fig3_schemes().items():
-        try:
-            make_decoder(EngineSpec.from_scheme(scheme, rows=256))
-        except ValueError:
-            # Scheme whose horizontal code has no vectorized decoder
-            # (OECNED); skip it rather than fall back to the slow path.
-            continue
-        estimates[key] = monte_carlo_coverage(
-            scheme,
-            array_rows=256,
-            array_data_columns=256,
-            n_trials=n_trials,
-            seed=seed,
-            model=model,
-            n_workers=n_workers,
-            cache=cache,
-            confidence=confidence,
-        )
-    return estimates
+    _deprecated("fig3_coverage_monte_carlo", "fig3.coverage")
+    spec = ExperimentSpec(
+        "fig3.coverage",
+        backend="monte_carlo",
+        trials=n_trials,
+        seed=seed,
+        confidence=confidence,
+    )
+    data = _run(spec, workers=n_workers, cache_dir=cache_dir).data_dict()
+    return {
+        key: CoverageEstimate(**fields) for key, fields in data["estimates"].items()
+    }
 
 
 # ----------------------------------------------------------------------
-# Figures 5 and 6 — CMP performance and access breakdowns
+# Figures 5 and 6
 # ----------------------------------------------------------------------
-
-def _cmp_configs() -> dict[str, CmpConfig]:
-    return {"fat": fat_cmp_config(), "lean": lean_cmp_config()}
-
 
 def fig5_performance(
     n_cycles: int = 6_000, seed: int = 7
 ) -> dict[str, dict[str, dict[str, float]]]:
     """IPC loss (%) per CMP, workload and protection scenario (Fig. 5)."""
-    scenarios = ("l1", "l1_ps", "l2", "l1_ps_l2")
-    results: dict[str, dict[str, dict[str, float]]] = {}
-    for cmp_name, cmp_cfg in _cmp_configs().items():
-        per_workload: dict[str, dict[str, float]] = {}
-        for workload, profile in PAPER_WORKLOADS.items():
-            losses = {}
-            for key in scenarios:
-                comparison = compare_protection(
-                    cmp_cfg, profile, PROTECTION_SCENARIOS[key], n_cycles, seed
-                )
-                losses[key] = comparison.ipc_loss_percent
-            per_workload[workload] = losses
-        results[cmp_name] = per_workload
-    return results
+    _deprecated("fig5_performance", "fig5.performance")
+    spec = ExperimentSpec(
+        "fig5.performance", seed=seed, params={"n_cycles": n_cycles}
+    )
+    return _run(spec).data_dict()
 
 
 def fig6_access_breakdown(
     n_cycles: int = 6_000, seed: int = 7
 ) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
     """Cache accesses per 100 cycles, broken down as in Fig. 6."""
-    results: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
-    for cmp_name, cmp_cfg in _cmp_configs().items():
-        per_workload: dict[str, dict[str, dict[str, float]]] = {}
-        for workload, profile in PAPER_WORKLOADS.items():
-            sim = simulate(
-                cmp_cfg, profile, PROTECTION_SCENARIOS["l1_ps_l2"], n_cycles, seed
-            )
-            per_workload[workload] = {
-                "l1": sim.l1_breakdown.as_dict(),
-                "l2": sim.l2_breakdown.as_dict(),
-            }
-        results[cmp_name] = per_workload
-    return results
+    _deprecated("fig6_access_breakdown", "fig6.access_breakdown")
+    spec = ExperimentSpec(
+        "fig6.access_breakdown", seed=seed, params={"n_cycles": n_cycles}
+    )
+    return _run(spec).data_dict()
 
 
 # ----------------------------------------------------------------------
-# Figure 7 — scheme comparison at equal (32-bit) coverage
+# Figure 7
 # ----------------------------------------------------------------------
 
 def fig7_scheme_comparison() -> dict[str, dict[str, SchemeCost]]:
-    """Relative code area / coding latency / dynamic power per scheme.
-
-    Values are normalized to SECDED with 2-way interleaving (100 = equal
-    to the baseline), exactly as in Fig. 7.
-    """
-    results: dict[str, dict[str, SchemeCost]] = {}
-    for cache_label, (schemes, n_words) in {
-        "64kB L1 data cache": (l1_schemes(), _L1_WORDS),
-        "4MB L2 cache": (l2_schemes(), _L2_WORDS),
-    }.items():
-        baseline_cost = schemes["baseline"].cost(n_words)
-        results[cache_label] = {
-            key: scheme.cost(n_words).normalized_to(baseline_cost)
-            for key, scheme in schemes.items()
-        }
-    return results
+    """Relative code area / coding latency / dynamic power per scheme."""
+    _deprecated("fig7_scheme_comparison", "fig7.schemes")
+    data = _run(ExperimentSpec("fig7.schemes")).data_dict()
+    return {
+        cache_label: {key: SchemeCost(**fields) for key, fields in costs.items()}
+        for cache_label, costs in data.items()
+    }
 
 
 # ----------------------------------------------------------------------
-# Figure 8 — yield and in-the-field reliability
+# Figure 8
 # ----------------------------------------------------------------------
 
 def fig8_yield(
     failing_cells: "tuple[int, ...] | range" = tuple(range(0, 4001, 200)),
 ) -> dict[str, list[float]]:
     """Yield of a 16MB L2 cache vs number of failing cells (Fig. 8(a))."""
-    model = YieldModel(MemoryGeometry.l2_16mb())
-    configurations = {
-        "Spare_128": {"ecc": False, "spares": 128},
-        "ECC Only": {"ecc": True, "spares": 0},
-        "ECC + Spare_16": {"ecc": True, "spares": 16},
-        "ECC + Spare_32": {"ecc": True, "spares": 32},
-    }
-    curves = model.sweep(list(failing_cells), configurations)
-    curves["failing_cells"] = [float(n) for n in failing_cells]
-    return curves
+    _deprecated("fig8_yield", "fig8.yield")
+    spec = ExperimentSpec(
+        "fig8.yield", params={"failing_cells": [int(n) for n in failing_cells]}
+    )
+    return _run(spec).data_dict()
 
 
 def fig8_yield_monte_carlo(
@@ -295,70 +180,25 @@ def fig8_yield_monte_carlo(
     n_workers: int = 1,
     confidence: float = 0.95,
 ) -> dict:
-    """Engine-backed validation of the Fig. 8(a) ECC-only yield model.
-
-    The analytical curve treats manufacture-time faults as uniformly
-    distributed cells and a word as dead once it holds two or more
-    faults.  This driver checks that claim by *simulating* it: the
-    engine throws exactly ``n`` faulty cells into a SECDED-protected
-    bank (``rows`` x 4 words of 64 bits — a scaled-down proxy for the
-    16MB array, which would be impractical to simulate bit by bit) and
-    counts the trials in which every word still decodes correctly.
-
-    Returns the fault counts, the analytical yield of the *same scaled
-    geometry*, the simulated yield, and the Wilson 95% bounds.
-    """
-    from repro.engine import EngineSpec, RandomCellsModel, run_experiment
-    from repro.reliability import MemoryGeometry, YieldModel
-
-    words_per_row = 4
-    spec = EngineSpec(
-        rows=rows,
-        data_bits=64,
-        interleave_degree=words_per_row,
-        horizontal_code="SECDED",
-        vertical_groups=None,
+    """Engine-backed validation of the Fig. 8(a) ECC-only yield model."""
+    _deprecated("fig8_yield_monte_carlo", "fig8.yield")
+    spec = ExperimentSpec(
+        "fig8.yield",
+        backend="monte_carlo",
+        trials=n_trials,
+        seed=seed,
+        confidence=confidence,
+        params={"failing_cells": [int(n) for n in failing_cells], "rows": rows},
     )
-    geometry = MemoryGeometry(
-        capacity_bits=spec.n_words * 64, word_bits=64, words_per_row=words_per_row
-    )
-    model = YieldModel(geometry)
-
-    curves: dict[str, list[float]] = {
-        "failing_cells": [float(n) for n in failing_cells],
-        "analytical": [],
-        "simulated": [],
-        "simulated_lower": [],
-        "simulated_upper": [],
-    }
-    for n_cells in failing_cells:
-        curves["analytical"].append(model.yield_with_ecc_only(n_cells))
-        result = run_experiment(
-            spec,
-            RandomCellsModel(n_cells),
-            n_trials,
-            seed + n_cells,
-            n_workers=n_workers,
-            collect_verdicts=False,
-        )
-        estimate = result.estimate(confidence)
-        curves["simulated"].append(estimate.point)
-        curves["simulated_lower"].append(estimate.lower)
-        curves["simulated_upper"].append(estimate.upper)
-    return curves
+    return _run(spec, workers=n_workers).data_dict()
 
 
 def fig8_reliability(
     years: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0)
 ) -> dict[str, list[float]]:
     """Probability of successful correction over time (Fig. 8(b))."""
-    model = FieldReliabilityModel(ReliabilityScenario(), PAPER_SOFT_ERROR_RATE)
-    curves: dict[str, list[float]] = {"years": list(years)}
-    curves["With 2D coding"] = model.survival_curve(
-        list(years), PAPER_HARD_ERROR_RATES["0.001%"], with_2d_coding=True
+    _deprecated("fig8_reliability", "fig8.reliability")
+    spec = ExperimentSpec(
+        "fig8.reliability", params={"years": [float(y) for y in years]}
     )
-    for label, rate in PAPER_HARD_ERROR_RATES.items():
-        curves[f"Without 2D, HER={label}"] = model.survival_curve(
-            list(years), rate, with_2d_coding=False
-        )
-    return curves
+    return _run(spec).data_dict()

@@ -16,7 +16,6 @@ plus ``os.replace`` so a crashed run never leaves a truncated entry.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import os
 import tempfile
@@ -33,9 +32,20 @@ ENGINE_VERSION = 1
 
 
 def cache_key(params: dict) -> str:
-    """Stable digest of a JSON-serializable parameter mapping."""
-    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    """The exact on-disk key the runner stores ``params`` under.
+
+    Construction is routed through
+    :meth:`repro.api.spec.ExperimentSpec.content_hash` — the
+    project-wide canonical convention (order-insensitive param
+    freezing, canonical JSON, SHA-256) — so independent key producers
+    cannot drift apart: :func:`repro.engine.runner.run_experiment`
+    calls this same function with the same params mapping.
+    """
+    from repro.api.spec import ExperimentSpec
+
+    return ExperimentSpec(
+        experiment="engine.run_experiment", backend="monte_carlo", params=params
+    ).content_hash()
 
 
 class ResultCache:

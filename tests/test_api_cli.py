@@ -1,0 +1,106 @@
+"""CLI smoke tests: `python -m repro list` / `run` behavior and exit codes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import ExperimentSpec, Result, Session
+from repro.api.cli import main
+
+
+class TestList:
+    def test_lists_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1.storage", "fig3.coverage", "fig8.yield", "sweep.mc_coverage"):
+            assert name in out
+
+    def test_json_listing_parses(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["fig3.coverage"]["backends"] == ["analytical", "monte_carlo"]
+        assert by_name["fig3.coverage"]["defaults"]["monte_carlo"]["trials"] == 2048
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "fig1.storage"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1.storage (analytical)" in out
+        assert "SECDED" in out
+
+    def test_run_writes_json_matching_direct_session(self, capsys, tmp_path):
+        out_path = tmp_path / "out.json"
+        code = main([
+            "run", "fig3.coverage", "--trials", "128", "--seed", "7",
+            "--json", str(out_path), "-q",
+        ])
+        assert code == 0
+        from_cli = Result.from_json(out_path.read_text())
+        # Same spec the CLI builds: backend "auto", resolved to monte_carlo
+        # by the trial count.
+        direct = Session().run(ExperimentSpec("fig3.coverage", trials=128, seed=7))
+        assert from_cli == direct
+        assert from_cli.backend == "monte_carlo"
+
+    def test_run_writes_csv(self, capsys, tmp_path):
+        out_path = tmp_path / "out.csv"
+        assert main(["run", "fig8.reliability", "-q", "--csv", str(out_path)]) == 0
+        rows = Result.rows_from_csv(out_path.read_text())
+        assert any(row["series"] == "With 2D coding" for row in rows)
+
+    def test_param_values_parse_as_json(self, capsys):
+        code = main([
+            "run", "fig8.yield", "-p", "failing_cells=[0, 1000]",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ECC Only" in out
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "figX.nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_bad_param_syntax_exits_nonzero(self, capsys):
+        assert main(["run", "fig1.storage", "-p", "no-equals-sign"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_bad_backend_for_experiment_exits_nonzero(self, capsys):
+        assert main(["run", "fig1.storage", "--backend", "monte_carlo"]) == 2
+        assert "no 'monte_carlo' backend" in capsys.readouterr().err
+
+    def test_bad_sweep_param_exits_nonzero(self, capsys):
+        code = main([
+            "run", "sweep.mc_coverage", "--trials", "8", "-p", "scheme=bogus",
+        ])
+        assert code == 1
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [["list"], ["run", "fig1.storage", "-q"]])
+def test_python_dash_m_entry_point(argv):
+    """`python -m repro ...` works end to end in a fresh interpreter."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_python_dash_m_unknown_experiment_fails():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", "not.an.experiment"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 2
+    assert "unknown experiment" in proc.stderr

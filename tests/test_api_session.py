@@ -1,0 +1,291 @@
+"""Session facade, registry discovery, and legacy fig* shim equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    Session,
+    UnknownExperimentError,
+    get_experiment,
+    list_experiments,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+#: Fast spec for every registered experiment (small trial/cycle counts).
+_FAST_SPECS = {
+    "fig1.storage": ExperimentSpec("fig1.storage"),
+    "fig1.energy": ExperimentSpec("fig1.energy"),
+    "fig2.interleaving": ExperimentSpec("fig2.interleaving", params={"degrees": [1, 4]}),
+    "fig3.coverage": ExperimentSpec("fig3.coverage"),
+    "fig5.performance": ExperimentSpec("fig5.performance", params={"n_cycles": 600}),
+    "fig6.access_breakdown": ExperimentSpec(
+        "fig6.access_breakdown", params={"n_cycles": 600}
+    ),
+    "fig7.schemes": ExperimentSpec("fig7.schemes"),
+    "fig8.yield": ExperimentSpec("fig8.yield", params={"failing_cells": [0, 2000]}),
+    "fig8.reliability": ExperimentSpec("fig8.reliability", params={"years": [0.0, 5.0]}),
+    "sweep.mc_coverage": ExperimentSpec(
+        "sweep.mc_coverage", trials=64, params={"model": "fixed", "height": 2, "width": 2}
+    ),
+    "sweep.scheme_cost": ExperimentSpec("sweep.scheme_cost", params={"cache": "l2"}),
+}
+
+
+class TestRegistry:
+    def test_every_paper_figure_is_registered(self):
+        names = {exp.name for exp in list_experiments()}
+        assert {
+            "fig1.storage", "fig1.energy", "fig2.interleaving", "fig3.coverage",
+            "fig5.performance", "fig6.access_breakdown", "fig7.schemes",
+            "fig8.yield", "fig8.reliability",
+        } <= names
+
+    def test_dual_backend_experiments(self):
+        assert get_experiment("fig3.coverage").backends == ("analytical", "monte_carlo")
+        assert get_experiment("fig8.yield").backends == ("analytical", "monte_carlo")
+        assert get_experiment("sweep.mc_coverage").backends == ("monte_carlo",)
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(UnknownExperimentError, match="fig3.coverage"):
+            get_experiment("fig3.covrage")
+
+    def test_fast_specs_cover_the_whole_registry(self):
+        assert set(_FAST_SPECS) == {exp.name for exp in list_experiments()}
+
+
+class TestSession:
+    def test_every_experiment_runs_and_serializes(self):
+        session = Session()
+        for name, spec in _FAST_SPECS.items():
+            result = session.run(spec)
+            assert result.experiment == name
+            assert result.series, name
+            assert type(result).from_json(result.to_json()) == result
+
+    def test_run_accepts_name_and_overrides(self):
+        result = Session().run("fig8.reliability", params={"years": [0.0, 1.0]})
+        assert result.data_dict()["years"] == [0.0, 1.0]
+
+    def test_monte_carlo_auto_resolution(self):
+        result = Session().run(
+            ExperimentSpec("fig8.yield", trials=32, params={"failing_cells": [0]})
+        )
+        assert result.backend == "monte_carlo"
+
+    def test_progress_hook_sees_start_and_finish(self):
+        events = []
+        session = Session(progress=events.append)
+        session.run(_FAST_SPECS["fig1.storage"])
+        assert [e["event"] for e in events] == ["start", "finish"]
+        assert events[0]["spec_hash"] == _FAST_SPECS["fig1.storage"].content_hash()
+        assert events[1]["elapsed"] > 0.0
+
+    def test_session_cache_is_shared_across_runs(self, tmp_path):
+        spec = ExperimentSpec(
+            "fig3.coverage", backend="monte_carlo", trials=128, seed=5
+        )
+        session = Session(cache_dir=tmp_path / "cache")
+        first = session.run(spec)
+        entries = len(list((tmp_path / "cache").glob("*.npz")))
+        assert entries > 0
+        second = Session(cache_dir=tmp_path / "cache").run(spec)
+        assert second == first
+        assert len(list((tmp_path / "cache").glob("*.npz"))) == entries
+
+    def test_run_all(self):
+        results = Session().run_all(
+            [_FAST_SPECS["fig1.storage"], _FAST_SPECS["fig1.energy"]]
+        )
+        assert [r.experiment for r in results] == ["fig1.storage", "fig1.energy"]
+
+    def test_unknown_param_names_are_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="degress"):
+            Session().run(
+                ExperimentSpec("fig2.interleaving", params={"degress": [1, 2]})
+            )
+        with pytest.raises(SpecError, match="does not accept"):
+            Session().run(ExperimentSpec("fig1.storage", params={"anything": 1}))
+
+    def test_trials_on_analytical_backend_is_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="monte_carlo"):
+            Session().run(ExperimentSpec("fig1.storage", trials=100))
+        with pytest.raises(SpecError, match="monte_carlo"):
+            Session().run(
+                ExperimentSpec("fig3.coverage", backend="analytical", trials=100)
+            )
+
+    def test_unused_statistical_knobs_on_analytical_are_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="no seed"):
+            Session().run(ExperimentSpec("fig1.storage", seed=123))
+        with pytest.raises(SpecError, match="confidence"):
+            Session().run(ExperimentSpec("fig7.schemes", confidence=0.99))
+        # Seeded analytical simulations (Figs. 5/6) do take a seed.
+        result = Session().run(
+            ExperimentSpec("fig5.performance", seed=9, params={"n_cycles": 300})
+        )
+        assert result.spec.seed == 9
+
+    def test_non_mapping_params_are_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="params must be a mapping"):
+            ExperimentSpec("fig2.interleaving", params=[("degrees", [1, 2])])
+
+    def test_progress_finish_fires_on_failure(self):
+        events = []
+        session = Session(progress=events.append)
+        with pytest.raises(ValueError, match="unknown scheme"):
+            session.run(
+                ExperimentSpec("sweep.mc_coverage", trials=8, params={"scheme": "no"})
+            )
+        assert [e["event"] for e in events] == ["start", "finish"]
+        assert "unknown scheme" in events[1]["error"]
+
+    def test_fig3_monte_carlo_honors_geometry_params(self):
+        result = Session().run(
+            ExperimentSpec(
+                "fig3.coverage",
+                backend="monte_carlo",
+                trials=64,
+                seed=3,
+                params={"array_rows": 128, "array_data_columns": 256},
+            )
+        )
+        estimates = result.data_dict()["estimates"]
+        assert all(e["n"] == 64 for e in estimates.values())
+        default = Session().run(
+            ExperimentSpec("fig3.coverage", backend="monte_carlo", trials=64, seed=3)
+        )
+        assert result.spec_hash != default.spec_hash
+
+    def test_invalid_sweep_params_raise(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            Session().run(
+                ExperimentSpec("sweep.mc_coverage", trials=8, params={"scheme": "nope"})
+            )
+        with pytest.raises(ValueError, match="unknown error model"):
+            Session().run(
+                ExperimentSpec("sweep.mc_coverage", trials=8, params={"model": "nope"})
+            )
+        with pytest.raises(ValueError, match="cache must be"):
+            Session().run(ExperimentSpec("sweep.scheme_cost", params={"cache": "l3"}))
+
+
+class TestLegacyShims:
+    """Each deprecated fig* driver returns data equal to its registry twin."""
+
+    def test_fig1_storage(self):
+        from repro.core import fig1_storage_overhead
+
+        data = Session().run(_FAST_SPECS["fig1.storage"]).data_dict()
+        assert fig1_storage_overhead() == {int(k): v for k, v in data.items()}
+
+    def test_fig1_energy(self):
+        from repro.core import fig1_energy_overhead
+
+        assert fig1_energy_overhead() == Session().run(
+            _FAST_SPECS["fig1.energy"]
+        ).data_dict()
+
+    def test_fig2_interleaving(self):
+        from repro.core import fig2_interleaving_energy
+
+        assert fig2_interleaving_energy((1, 4)) == Session().run(
+            _FAST_SPECS["fig2.interleaving"]
+        ).data_dict()
+
+    def test_fig3_coverage(self):
+        from repro.core import fig3_coverage
+
+        data = Session().run(_FAST_SPECS["fig3.coverage"]).data_dict()
+        reports = fig3_coverage()
+        assert set(reports) == set(data)
+        for key, report in reports.items():
+            assert report.scheme_name == data[key]["scheme_name"]
+            assert report.correctable_rows == data[key]["correctable_rows"]
+            assert report.correctable_columns == data[key]["correctable_columns"]
+            assert report.storage_overhead == data[key]["storage_overhead"]
+
+    def test_fig3_coverage_monte_carlo(self):
+        from repro.core.experiments import fig3_coverage_monte_carlo
+
+        estimates = fig3_coverage_monte_carlo(n_trials=128, seed=11)
+        data = Session().run(
+            ExperimentSpec("fig3.coverage", backend="monte_carlo", trials=128, seed=11)
+        ).data_dict()["estimates"]
+        assert set(estimates) == set(data)
+        for key, estimate in estimates.items():
+            assert estimate.n == data[key]["n"]
+            assert estimate.successes == data[key]["successes"]
+            assert estimate.point == data[key]["point"]
+
+    def test_fig5_performance(self):
+        from repro.core import fig5_performance
+
+        assert fig5_performance(n_cycles=600, seed=7) == Session().run(
+            _FAST_SPECS["fig5.performance"]
+        ).data_dict()
+
+    def test_fig6_access_breakdown(self):
+        from repro.core import fig6_access_breakdown
+
+        assert fig6_access_breakdown(n_cycles=600, seed=7) == Session().run(
+            _FAST_SPECS["fig6.access_breakdown"]
+        ).data_dict()
+
+    def test_fig7_scheme_comparison(self):
+        from repro.core import fig7_scheme_comparison
+
+        data = Session().run(_FAST_SPECS["fig7.schemes"]).data_dict()
+        costs = fig7_scheme_comparison()
+        assert {k: set(v) for k, v in costs.items()} == {
+            k: set(v) for k, v in data.items()
+        }
+        for cache_label, per_scheme in costs.items():
+            for key, cost in per_scheme.items():
+                assert cost.name == data[cache_label][key]["name"]
+                assert cost.code_area == data[cache_label][key]["code_area"]
+                assert cost.dynamic_power == data[cache_label][key]["dynamic_power"]
+
+    def test_fig8_yield(self):
+        from repro.core import fig8_yield
+
+        assert fig8_yield((0, 2000)) == Session().run(
+            _FAST_SPECS["fig8.yield"]
+        ).data_dict()
+
+    def test_fig8_yield_monte_carlo(self):
+        from repro.core import fig8_yield_monte_carlo
+
+        curves = fig8_yield_monte_carlo(failing_cells=(0, 8), n_trials=64)
+        data = Session().run(
+            ExperimentSpec(
+                "fig8.yield",
+                backend="monte_carlo",
+                trials=64,
+                params={"failing_cells": [0, 8], "rows": 64},
+            )
+        ).data_dict()
+        assert curves == data
+
+    def test_fig8_reliability(self):
+        from repro.core import fig8_reliability
+
+        assert fig8_reliability((0.0, 5.0)) == Session().run(
+            _FAST_SPECS["fig8.reliability"]
+        ).data_dict()
+
+    def test_shims_warn_deprecation(self):
+        from repro.core import fig1_storage_overhead
+
+        with pytest.warns(DeprecationWarning, match="fig1.storage"):
+            fig1_storage_overhead()
