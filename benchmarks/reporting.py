@@ -1,14 +1,25 @@
-"""Shared pretty-printing helpers for the benchmark harness.
+"""Shared reporting helpers for the benchmark harness.
 
 Imported explicitly (``from reporting import print_series``) rather than
 living in ``conftest.py``: the module name ``conftest`` is ambiguous
 when pytest collects both ``tests/`` and ``benchmarks/``, and importing
 from it used to break test collection.
+
+Besides pretty-printing, :func:`write_bench` persists machine-readable
+measurements as ``BENCH_<name>.json`` so the performance trajectory is
+recorded run over run, not just asserted: each file carries the
+measured numbers plus a UTC timestamp, and lands in ``$REPRO_BENCH_DIR``
+(default: the current working directory).
 """
 
 from __future__ import annotations
 
-__all__ = ["print_series"]
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["print_series", "write_bench"]
 
 
 def print_series(title: str, series: dict) -> None:
@@ -28,3 +39,20 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def write_bench(name: str, payload: dict) -> Path:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    ``payload`` must be JSON-representable; a ``recorded_at`` UTC
+    timestamp is added.  The target directory comes from the
+    ``REPRO_BENCH_DIR`` environment variable (created if missing),
+    falling back to the current working directory.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    record = dict(payload)
+    record["recorded_at"] = datetime.now(timezone.utc).isoformat()
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

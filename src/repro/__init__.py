@@ -7,6 +7,9 @@ The package is organized bottom-up:
 * :mod:`repro.coding` — per-word EDC/ECC codes (interleaved parity,
   SECDED, BCH) and their VLSI overhead models.
 * :mod:`repro.errors` — soft/hard error event models and injectors.
+* :mod:`repro.scenarios` — pluggable vectorized fault scenarios (iid,
+  clustered MBUs, bursts, defect maps, composite populations) shared by
+  the Monte Carlo engine and the scalar injector.
 * :mod:`repro.array` — bit-accurate SRAM arrays with 2D protection and the
   BIST/BISR-style recovery algorithm.
 * :mod:`repro.cache` — set-associative cache substrate with ports, banks,

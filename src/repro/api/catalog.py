@@ -41,6 +41,7 @@ from repro.workloads import PAPER_WORKLOADS
 
 from .registry import experiment
 from .result import Series
+from .spec import SpecError
 
 __all__ = ["FIG3_MC_FOOTPRINTS", "named_schemes"]
 
@@ -219,10 +220,38 @@ def _fig3_coverage(ctx):
     return ctx.result(data, series)
 
 
-def _normalized_footprints(raw) -> tuple[tuple[tuple[int, int], float], ...]:
-    return tuple(
-        ((int(shape[0]), int(shape[1])), float(weight)) for shape, weight in raw
-    )
+def _scenario_model(ctx, *, default_overrides: "dict | None" = None):
+    """Build the error-scenario model a Monte Carlo experiment asked for.
+
+    The ``scenario`` param names any registered scenario
+    (:func:`repro.scenarios.list_scenarios`); ``scenario_params`` carries
+    its configuration as a mapping.  ``default_overrides`` lets an
+    experiment route its own legacy params (e.g. ``footprints``) into
+    the scenario when the spec does not override them.
+    """
+    from repro.scenarios import make_scenario
+
+    name = str(ctx.param("scenario"))
+    overrides = dict(default_overrides or {})
+    overrides.update(dict(ctx.param("scenario_params") or {}))
+    return make_scenario(name, **overrides)
+
+
+def _reject_unused_model_params(ctx, selector: str, chosen: str, names: tuple) -> None:
+    """Fail hard when a spec sets params the chosen scenario ignores.
+
+    Mirrors the Session-level contract for the statistical knobs: a
+    param that does not influence the run must not silently enter the
+    result's provenance hash.
+    """
+    explicit = set(ctx.spec.param_dict())
+    unused = sorted(explicit.intersection(names))
+    if unused:
+        raise SpecError(
+            f"{ctx.spec.experiment}: param(s) {', '.join(unused)} have no "
+            f"effect with {selector}={chosen!r}; configure the scenario "
+            "via scenario_params instead"
+        )
 
 
 @experiment(
@@ -231,19 +260,29 @@ def _normalized_footprints(raw) -> tuple[tuple[tuple[int, int], float], ...]:
     defaults={
         "trials": 2048,
         "seed": 2007,
+        "scenario": "clustered_mbu",
         "footprints": FIG3_MC_FOOTPRINTS,
         "array_rows": 256,
         "array_data_columns": 256,
     },
+    params=("scenario_params",),
 )
 def _fig3_coverage_mc(ctx):
-    from repro.engine import ClusterErrorModel, EngineSpec, make_decoder
+    from repro.engine import EngineSpec, make_decoder
 
     rows = int(ctx.param("array_rows"))
     columns = int(ctx.param("array_data_columns"))
-    model = ClusterErrorModel(
-        footprints=_normalized_footprints(ctx.param("footprints"))
-    )
+    # The default scenario/footprints pair reconstructs the exact model
+    # (same draws, same engine cache key) this experiment ran before the
+    # scenario subsystem existed.
+    defaults = {}
+    if str(ctx.param("scenario")) == "clustered_mbu":
+        defaults["footprints"] = tuple(ctx.param("footprints"))
+    else:
+        _reject_unused_model_params(
+            ctx, "scenario", str(ctx.param("scenario")), ("footprints",)
+        )
+    model = _scenario_model(ctx, default_overrides=defaults)
     estimates: dict[str, dict] = {}
     skipped: list[str] = []
     for key, scheme in fig3_schemes().items():
@@ -277,7 +316,8 @@ def _fig3_coverage_mc(ctx):
         )
     ]
     return ctx.result(
-        {"estimates": estimates, "skipped": skipped}, series
+        {"estimates": estimates, "skipped": skipped, "scenario": model.to_key()},
+        series,
     )
 
 
@@ -440,6 +480,7 @@ def _fig8_yield(ctx):
     defaults={
         "trials": 512,
         "seed": 1946,
+        "scenario": "iid_uniform",
         "failing_cells": tuple(range(0, 41, 8)),
         "rows": 64,
     },
@@ -452,11 +493,27 @@ def _fig8_yield_mc(ctx):
     faults.  This experiment checks that claim by *simulating* it on a
     scaled-down SECDED-protected bank (``rows`` x 4 words of 64 bits)
     and comparing against the analytical yield of the same geometry.
+
+    ``scenario`` picks the hard-fault population per sweep point:
+    ``"iid_uniform"`` places exactly ``n`` faulty cells (the analytical
+    model's own assumption, and the pre-scenario engine behavior,
+    bit-exact), ``"hard_fault_map"`` draws the count per die from a
+    Poisson with the equivalent mean density — the manufacturing-line
+    view of the same axis.
     """
-    from repro.engine import EngineSpec, RandomCellsModel
+    from repro.engine import EngineSpec
+    from repro.scenarios import make_scenario
 
     failing_cells = [int(n) for n in ctx.param("failing_cells")]
     rows = int(ctx.param("rows"))
+    scenario_name = str(ctx.param("scenario"))
+    if scenario_name not in ("iid_uniform", "hard_fault_map"):
+        # A usage error, not an execution failure: reject before any
+        # geometry or engine work (CLI exit 2).
+        raise SpecError(
+            "fig8.yield sweeps a hard-fault count axis; scenario must be "
+            f"'iid_uniform' or 'hard_fault_map', got {scenario_name!r}"
+        )
     words_per_row = 4
     spec = EngineSpec(
         rows=rows,
@@ -469,6 +526,7 @@ def _fig8_yield_mc(ctx):
         capacity_bits=spec.n_words * 64, word_bits=64, words_per_row=words_per_row
     )
     model = YieldModel(geometry)
+    n_sites = rows * spec.row_bits
 
     curves: dict[str, list[float]] = {
         "failing_cells": [float(n) for n in failing_cells],
@@ -479,9 +537,13 @@ def _fig8_yield_mc(ctx):
     }
     for n_cells in failing_cells:
         curves["analytical"].append(model.yield_with_ecc_only(n_cells))
-        result = ctx.run_engine(
-            spec, RandomCellsModel(n_cells), seed=ctx.seed + n_cells
-        )
+        if scenario_name == "iid_uniform":
+            fault_model = make_scenario("iid_uniform", n_cells=n_cells)
+        else:
+            fault_model = make_scenario(
+                "hard_fault_map", defect_density=n_cells / n_sites
+            )
+        result = ctx.run_engine(spec, fault_model, seed=ctx.seed + n_cells)
         estimate = result.estimate(ctx.confidence)
         curves["simulated"].append(estimate.point)
         curves["simulated_lower"].append(estimate.lower)
@@ -497,7 +559,7 @@ def _fig8_yield_mc(ctx):
             units="yield",
         ),
     ]
-    return ctx.result(curves, series, meta={"rows": rows})
+    return ctx.result(curves, series, meta={"rows": rows, "scenario": scenario_name})
 
 
 @experiment(
@@ -539,22 +601,22 @@ def _fig8_reliability(ctx):
         "scheme": "2d_edc8_edc32",
         "rows": 256,
         "model": "cluster",
+        "scenario": None,
     },
-    params=("footprints", "height", "width", "n_cells"),
+    params=("footprints", "height", "width", "n_cells", "scenario_params"),
 )
 def _sweep_mc_coverage(ctx):
     """Coverage probability of one scheme/geometry/error-model point.
 
-    ``scheme`` is any :func:`named_schemes` key; ``model`` is
-    ``"cluster"`` (optionally with ``footprints``), ``"fixed"`` (with
-    ``height``/``width``) or ``"random_cells"`` (with ``n_cells``).
+    ``scheme`` is any :func:`named_schemes` key.  The fault population
+    is either a legacy ``model`` shorthand — ``"cluster"`` (optionally
+    with ``footprints``), ``"fixed"`` (with ``height``/``width``),
+    ``"random_cells"`` (with ``n_cells``) — or **any registered fault
+    scenario** named via ``scenario`` (or as the ``model`` value) and
+    configured through ``scenario_params``.
     """
-    from repro.engine import (
-        ClusterErrorModel,
-        EngineSpec,
-        FixedClusterModel,
-        RandomCellsModel,
-    )
+    from repro.engine import EngineSpec
+    from repro.scenarios import list_scenarios, make_scenario
 
     scheme_key = str(ctx.param("scheme"))
     schemes = named_schemes()
@@ -565,19 +627,38 @@ def _sweep_mc_coverage(ctx):
     scheme = schemes[scheme_key]
     rows = int(ctx.param("rows"))
 
-    kind = str(ctx.param("model"))
+    raw_scenario = ctx.param("scenario")
+    kind = str(raw_scenario) if raw_scenario is not None else str(ctx.param("model"))
+    legacy_knobs = ("footprints", "height", "width", "n_cells")
     if kind == "cluster":
+        _reject_unused_model_params(
+            ctx, "model", kind, ("height", "width", "n_cells", "scenario_params")
+        )
         footprints = ctx.param("footprints", FIG3_MC_FOOTPRINTS)
-        model = ClusterErrorModel(footprints=_normalized_footprints(footprints))
+        model = make_scenario("clustered_mbu", footprints=tuple(footprints))
     elif kind == "fixed":
-        model = FixedClusterModel(
-            height=int(ctx.param("height", 8)), width=int(ctx.param("width", 8))
+        _reject_unused_model_params(
+            ctx, "model", kind, ("footprints", "n_cells", "scenario_params")
+        )
+        model = make_scenario(
+            "fixed_cluster",
+            height=int(ctx.param("height", 8)),
+            width=int(ctx.param("width", 8)),
         )
     elif kind == "random_cells":
-        model = RandomCellsModel(n_cells=int(ctx.param("n_cells", 2)))
+        _reject_unused_model_params(
+            ctx, "model", kind, ("footprints", "height", "width", "scenario_params")
+        )
+        model = make_scenario("iid_uniform", n_cells=int(ctx.param("n_cells", 2)))
+    elif kind in list_scenarios():
+        selector = "scenario" if raw_scenario is not None else "model"
+        _reject_unused_model_params(ctx, selector, kind, legacy_knobs)
+        model = make_scenario(kind, **dict(ctx.param("scenario_params") or {}))
     else:
+        known = ", ".join(sorted(list_scenarios()))
         raise ValueError(
-            f"unknown error model {kind!r}; use cluster, fixed or random_cells"
+            f"unknown error model {kind!r}; use cluster, fixed, random_cells "
+            f"or a registered scenario ({known})"
         )
 
     spec = EngineSpec.from_scheme(scheme, rows=rows)
@@ -602,6 +683,80 @@ def _sweep_mc_coverage(ctx):
         )
     ]
     return ctx.result(data, series)
+
+
+@experiment(
+    "sweep.mbu_cluster",
+    backend="monte_carlo",
+    description="Coverage vs MBU cluster size x physical interleaving degree",
+    defaults={
+        "trials": 1024,
+        "seed": 77,
+        "cluster_sizes": (1, 2, 4, 8, 16, 32),
+        "degrees": (1, 2, 4, 8),
+        "code": "EDC8",
+        "data_bits": 64,
+        "rows": 256,
+        "vertical_groups": 32,
+    },
+)
+def _sweep_mbu_cluster(ctx):
+    """How far interleaving stretches clustered-MBU coverage.
+
+    For every interleaving degree ``D`` and square cluster size ``s``
+    this injects one ``s`` x ``s`` upset per trial into a bank protected
+    by ``code`` horizontally (and EDC ``vertical_groups`` vertically
+    when set) and estimates the fully-corrected fraction — the Monte
+    Carlo generalization of the paper's claim that 2D coding reaches
+    32x32 coverage where conventional interleaving runs out at the
+    interleave degree.
+    """
+    from repro.engine import EngineSpec
+    from repro.scenarios import make_scenario
+
+    sizes = [int(s) for s in ctx.param("cluster_sizes")]
+    degrees = [int(d) for d in ctx.param("degrees")]
+    code = str(ctx.param("code"))
+    data_bits = int(ctx.param("data_bits"))
+    rows = int(ctx.param("rows"))
+    raw_groups = ctx.param("vertical_groups")
+    vertical_groups = None if raw_groups is None else int(raw_groups)
+
+    coverage: dict[str, dict[str, dict]] = {}
+    series = []
+    for degree in degrees:
+        spec = EngineSpec(
+            rows=rows,
+            data_bits=data_bits,
+            interleave_degree=degree,
+            horizontal_code=code,
+            vertical_groups=vertical_groups,
+        )
+        per_size: dict[str, dict] = {}
+        for size in sizes:
+            model = make_scenario("fixed_cluster", height=size, width=size)
+            result = ctx.run_engine(
+                spec, model, seed=ctx.seed + 1009 * degree + size
+            )
+            per_size[str(size)] = _estimate_payload(result.estimate(ctx.confidence))
+        coverage[str(degree)] = per_size
+        series.append(
+            Series(
+                f"D={degree}",
+                x=sizes,
+                y=[per_size[str(s)]["point"] for s in sizes],
+                lower=[per_size[str(s)]["lower"] for s in sizes],
+                upper=[per_size[str(s)]["upper"] for s in sizes],
+            )
+        )
+    data = {
+        "cluster_sizes": sizes,
+        "degrees": degrees,
+        "code": code,
+        "vertical_groups": vertical_groups,
+        "coverage": coverage,
+    }
+    return ctx.result(data, series, meta={"rows": rows, "data_bits": data_bits})
 
 
 @experiment(

@@ -10,12 +10,17 @@ Two subcommands:
     Execute one experiment through the :class:`~repro.api.session.Session`
     facade and print a summary table; ``--json``/``--csv`` write the
     serialized :class:`~repro.api.result.Result` to files (``-`` for
-    stdout).  Example::
+    stdout), and ``--output PATH`` picks the format from the suffix
+    (``.csv`` -> CSV, anything else JSON).  ``--scenario NAME`` selects
+    a registered fault scenario on experiments that take one.
+    Examples::
 
         python -m repro run fig3.coverage --trials 200000 --json out.json
+        python -m repro run fig3.coverage --trials 4096 \
+            --scenario burst_row --output fig3_bursts.csv
 
 Exit status: 0 on success, 2 on usage errors (including unknown
-experiment names), 1 on execution failures.
+experiment names and unknown scenarios), 1 on execution failures.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ import argparse
 import json
 import sys
 from typing import Sequence
+
+from repro.scenarios import UnknownScenarioError, get_scenario_class
 
 from .registry import UnknownExperimentError, list_experiments
 from .result import Result
@@ -76,10 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
         "repeatable)",
     )
     runner.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="fault scenario for Monte Carlo experiments that take one "
+        "(shorthand for -p scenario=NAME; see repro.scenarios)",
+    )
+    runner.add_argument(
         "--json", metavar="PATH", help="write the Result as JSON ('-' for stdout)"
     )
     runner.add_argument(
         "--csv", metavar="PATH", help="write the Result as CSV ('-' for stdout)"
+    )
+    runner.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="write the Result to PATH, format by suffix (.csv -> CSV, "
+        "otherwise JSON; '-' for JSON on stdout)",
     )
     runner.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the summary table"
@@ -158,17 +178,26 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return 0
 
     try:
+        params = _parse_params(args.param)
+        if args.scenario is not None:
+            get_scenario_class(args.scenario)  # unknown names are usage errors
+            if params.get("scenario", args.scenario) != args.scenario:
+                raise SpecError(
+                    f"conflicting scenarios: --scenario {args.scenario} vs "
+                    f"-p scenario={params['scenario']}"
+                )
+            params["scenario"] = args.scenario
         spec = ExperimentSpec(
             experiment=args.experiment,
             backend=args.backend,
             trials=args.trials,
             seed=args.seed,
             confidence=args.confidence,
-            params=_parse_params(args.param),
+            params=params,
         )
         session = Session(workers=args.workers, cache_dir=args.cache_dir)
         result = session.run(spec)
-    except (UnknownExperimentError, SpecError) as exc:
+    except (UnknownExperimentError, UnknownScenarioError, SpecError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (ValueError, KeyError) as exc:
@@ -181,6 +210,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         _write(args.json, result.to_json(indent=2))
     if args.csv:
         _write(args.csv, result.to_csv())
+    if args.output:
+        as_csv = args.output != "-" and args.output.lower().endswith(".csv")
+        _write(args.output, result.to_csv() if as_csv else result.to_json(indent=2))
     return 0
 
 

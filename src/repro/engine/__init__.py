@@ -4,11 +4,15 @@ The engine evaluates thousands of protected-array instances per call
 where the scalar path (:mod:`repro.array`) walks one bank bit by bit:
 
 * :mod:`repro.engine.rng` — hierarchical seeded streams
-  (``SeedSequence`` spawning per fixed-size trial block) that make
-  results independent of worker count and chunk size.
-* :mod:`repro.engine.batch` — NumPy-vectorized injection and decode:
+  (``SeedSequence`` spawning per fixed-size trial block, with per-lane
+  substreams for multi-population scenarios) that make results
+  independent of worker count and chunk size.
+* :mod:`repro.engine.batch` — NumPy-vectorized decode and recovery:
   error masks as ``(trials, rows, row_bits)`` bit arrays, horizontal
   syndromes and vertical parity reconstruction as XOR reductions.
+  Mask *production* lives in the pluggable scenario subsystem
+  (:mod:`repro.scenarios`); the historical model names exported here
+  are aliases of its built-ins.
 * :mod:`repro.engine.runner` — a ``multiprocessing``-sharded executor
   that chunks trials across workers and merges results.
 * :mod:`repro.engine.aggregate` — streaming verdict tallies with Wilson
@@ -38,7 +42,13 @@ from .batch import (
 )
 from .cache import ResultCache, cache_key
 from .oracle import scalar_trial_verdict, scalar_verdicts
-from .rng import DEFAULT_BLOCK_SIZE, block_generator, block_seed_sequence
+from .rng import (
+    DEFAULT_BLOCK_SIZE,
+    BlockStreams,
+    block_generator,
+    block_seed_sequence,
+    lane_generator,
+)
 from .runner import EngineResult, run_experiment
 
 __all__ = [
@@ -60,8 +70,10 @@ __all__ = [
     "scalar_trial_verdict",
     "scalar_verdicts",
     "DEFAULT_BLOCK_SIZE",
+    "BlockStreams",
     "block_generator",
     "block_seed_sequence",
+    "lane_generator",
     "EngineResult",
     "run_experiment",
 ]

@@ -1,4 +1,4 @@
-"""Vectorized fault injection and 2D decode over batches of trials.
+"""Vectorized 2D decode and recovery over batches of trials.
 
 This module is the compute kernel of the Monte Carlo engine.  Where the
 scalar path (:mod:`repro.array.recovery`) walks one bank bit by bit, the
@@ -6,6 +6,11 @@ batch path evaluates **thousands of independent array instances at
 once**: error patterns are ``(trials, rows, row_bits)`` bit arrays, and
 horizontal syndromes / vertical parity reconstruction are XOR reductions
 along axes.
+
+The decode paths consume pre-sampled mask batches; *producing* them is
+the job of the fault-scenario subsystem (:mod:`repro.scenarios`), whose
+built-ins the historical model names here (``ClusterErrorModel``,
+``FixedClusterModel``, ``RandomCellsModel``) now alias.
 
 Everything operates in the *error-mask domain*.  The codes are linear,
 so every decode verdict, every inline correction and every recovery
@@ -39,10 +44,22 @@ from repro.coding import make_code
 from repro.coding.base import WordCode
 from repro.coding.hamming import SecdedCode
 from repro.coding.parity import InterleavedParityCode
-from repro.errors.injector import FootprintDistribution
+from repro.scenarios import (
+    ClusteredMbuScenario,
+    FixedClusterScenario,
+    IidUniformScenario,
+)
 
 if TYPE_CHECKING:  # avoid a runtime repro.core <-> repro.engine cycle
     from repro.core.schemes import CodingScheme
+
+#: Historical engine model names, preserved as aliases of the scenario
+#: classes that now own the sampling logic (bit-exact, same draw
+#: streams, same ``to_key`` cache identities).  New code should reach
+#: for :func:`repro.scenarios.make_scenario` / the scenario classes.
+ClusterErrorModel = ClusteredMbuScenario
+FixedClusterModel = FixedClusterScenario
+RandomCellsModel = IidUniformScenario
 
 __all__ = [
     "EngineSpec",
@@ -153,128 +170,6 @@ class EngineSpec:
             "horizontal_code": self.horizontal_code,
             "vertical_groups": self.vertical_groups,
         }
-
-
-# ----------------------------------------------------------------------
-# vectorized error models
-# ----------------------------------------------------------------------
-
-def _cluster_masks(
-    rng: np.random.Generator,
-    heights: np.ndarray,
-    widths: np.ndarray,
-    rows: int,
-    cols: int,
-) -> np.ndarray:
-    """Uniformly placed solid clusters, one per trial, as bit masks."""
-    count = heights.shape[0]
-    heights = np.minimum(heights, rows)
-    widths = np.minimum(widths, cols)
-    r0 = rng.integers(0, rows - heights + 1, size=count)
-    c0 = rng.integers(0, cols - widths + 1, size=count)
-    row_idx = np.arange(rows)
-    col_idx = np.arange(cols)
-    row_hit = (row_idx >= r0[:, None]) & (row_idx < (r0 + heights)[:, None])
-    col_hit = (col_idx >= c0[:, None]) & (col_idx < (c0 + widths)[:, None])
-    return (row_hit[:, :, None] & col_hit[:, None, :]).astype(np.uint8)
-
-
-@dataclass(frozen=True)
-class ClusterErrorModel:
-    """One clustered upset per trial, footprint drawn from a distribution.
-
-    ``footprints`` is a tuple of ``((height, width), weight)`` pairs —
-    the hashable/picklable twin of
-    :class:`repro.errors.injector.FootprintDistribution`.
-    """
-
-    footprints: tuple[tuple[tuple[int, int], float], ...]
-
-    def __post_init__(self) -> None:
-        if not self.footprints:
-            raise ValueError("footprints must not be empty")
-        for (h, w), weight in self.footprints:
-            if h < 1 or w < 1 or weight < 0:
-                raise ValueError(f"invalid footprint entry {((h, w), weight)}")
-        if sum(w for _f, w in self.footprints) <= 0:
-            raise ValueError("at least one footprint needs positive weight")
-
-    @classmethod
-    def from_distribution(cls, distribution: FootprintDistribution) -> "ClusterErrorModel":
-        return cls(footprints=tuple(sorted(distribution.weights.items())))
-
-    @classmethod
-    def mostly_single_bit(cls, multi_bit_fraction: float = 0.1) -> "ClusterErrorModel":
-        return cls.from_distribution(
-            FootprintDistribution.mostly_single_bit(multi_bit_fraction)
-        )
-
-    def sample(self, rng: np.random.Generator, count: int, spec: EngineSpec) -> np.ndarray:
-        shapes = np.array([f for f, _w in self.footprints], dtype=np.int64)
-        weights = np.array([w for _f, w in self.footprints], dtype=float)
-        weights /= weights.sum()
-        index = rng.choice(len(self.footprints), size=count, p=weights)
-        return _cluster_masks(
-            rng, shapes[index, 0], shapes[index, 1], spec.rows, spec.row_bits
-        )
-
-    def to_key(self) -> dict:
-        return {"model": "cluster_distribution", "footprints": [
-            [list(f), w] for f, w in self.footprints
-        ]}
-
-
-@dataclass(frozen=True)
-class FixedClusterModel:
-    """The same ``height`` x ``width`` cluster every trial, placed uniformly."""
-
-    height: int
-    width: int
-
-    def __post_init__(self) -> None:
-        if self.height < 1 or self.width < 1:
-            raise ValueError("cluster dimensions must be positive")
-
-    def sample(self, rng: np.random.Generator, count: int, spec: EngineSpec) -> np.ndarray:
-        heights = np.full(count, self.height, dtype=np.int64)
-        widths = np.full(count, self.width, dtype=np.int64)
-        return _cluster_masks(rng, heights, widths, spec.rows, spec.row_bits)
-
-    def to_key(self) -> dict:
-        return {"model": "fixed_cluster", "height": self.height, "width": self.width}
-
-
-@dataclass(frozen=True)
-class RandomCellsModel:
-    """Exactly ``n_cells`` distinct uniformly-placed faulty cells per trial.
-
-    This is the manufacture-time defect model behind the Fig. 8(a) yield
-    analysis.  Faults are modelled as inverted cells (the worst case for
-    the codes; stuck-at faults that happen to match the stored value are
-    harmless and would only improve the estimates).
-    """
-
-    n_cells: int
-
-    def __post_init__(self) -> None:
-        if self.n_cells < 0:
-            raise ValueError("n_cells must be non-negative")
-
-    def sample(self, rng: np.random.Generator, count: int, spec: EngineSpec) -> np.ndarray:
-        n_sites = spec.rows * spec.row_bits
-        if self.n_cells > n_sites:
-            raise ValueError("more faulty cells than array cells")
-        masks = np.zeros((count, n_sites), dtype=np.uint8)
-        if self.n_cells:
-            # argpartition of one uniform draw per cell gives n distinct
-            # uniform cells per trial in a single vectorized pass.
-            scores = rng.random((count, n_sites))
-            chosen = np.argpartition(scores, self.n_cells - 1, axis=1)[:, : self.n_cells]
-            masks[np.arange(count)[:, None], chosen] = 1
-        return masks.reshape(count, spec.rows, spec.row_bits)
-
-    def to_key(self) -> dict:
-        return {"model": "random_cells", "n_cells": self.n_cells}
 
 
 # ----------------------------------------------------------------------

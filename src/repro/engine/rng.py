@@ -33,6 +33,8 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "block_seed_sequence",
     "block_generator",
+    "lane_generator",
+    "BlockStreams",
     "BlockSlice",
     "iter_block_slices",
     "n_blocks",
@@ -60,6 +62,42 @@ def block_seed_sequence(seed: int, block: int) -> np.random.SeedSequence:
 def block_generator(seed: int, block: int) -> np.random.Generator:
     """A fresh, independent generator for one trial block."""
     return np.random.default_rng(block_seed_sequence(seed, block))
+
+
+def lane_generator(seed: int, block: int, lane: int) -> np.random.Generator:
+    """An independent sub-stream of one trial block.
+
+    Lanes let a scenario composed of several populations (e.g. a hard
+    fault map plus soft clusters) give each population its own
+    block-keyed stream — spawn key ``(block, lane)`` — so reconfiguring
+    one population never shifts another's draws, while every lane stays
+    as worker/chunk-invariant as the block's root stream.
+    """
+    if block < 0 or lane < 0:
+        raise ValueError("block and lane indices must be non-negative")
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(block, lane))
+    )
+
+
+@dataclass(frozen=True)
+class BlockStreams:
+    """Handle to one trial block's random streams.
+
+    The engine passes this to a scenario's ``sample_block``: the
+    :meth:`root` stream is the block's historical generator (bit-exact
+    with the pre-scenario engine), and :meth:`lane` streams are
+    independent substreams for multi-population scenarios.
+    """
+
+    seed: int
+    block: int
+
+    def root(self) -> np.random.Generator:
+        return block_generator(self.seed, self.block)
+
+    def lane(self, lane: int) -> np.random.Generator:
+        return lane_generator(self.seed, self.block, lane)
 
 
 @dataclass(frozen=True)

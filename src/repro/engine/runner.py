@@ -24,7 +24,13 @@ import numpy as np
 from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
 from .batch import EngineSpec, make_decoder, run_recovery_batch
 from .cache import ENGINE_VERSION, ResultCache, cache_key
-from .rng import DEFAULT_BLOCK_SIZE, block_generator, iter_block_slices, n_blocks
+from .rng import (
+    DEFAULT_BLOCK_SIZE,
+    BlockStreams,
+    block_generator,
+    iter_block_slices,
+    n_blocks,
+)
 
 __all__ = ["EngineResult", "run_experiment"]
 
@@ -64,14 +70,22 @@ def _run_trial_range(
     """Evaluate trials ``[first_trial, last_trial)`` block by block.
 
     Samplers always draw for the whole block and slice, so any partition
-    of the trial space sees identical per-trial randomness.
+    of the trial space sees identical per-trial randomness.  Scenario
+    models sample through ``sample_block`` with the block's
+    :class:`BlockStreams` handle (multi-population scenarios draw each
+    population from its own lane); plain models with only a
+    ``sample(rng, count, spec)`` method get the block's root generator —
+    the identical stream either way for single-population scenarios.
     """
     decoder = make_decoder(spec)
     aggregator = StreamingAggregator()
     collected: list[np.ndarray] = []
+    sample_block = getattr(model, "sample_block", None)
     for piece in iter_block_slices(first_trial, last_trial, block_size):
-        rng = block_generator(seed, piece.block)
-        masks = model.sample(rng, block_size, spec)
+        if sample_block is not None:
+            masks = sample_block(BlockStreams(seed, piece.block), block_size, spec)
+        else:
+            masks = model.sample(block_generator(seed, piece.block), block_size, spec)
         verdicts = run_recovery_batch(spec, masks[piece.start : piece.stop], decoder)
         aggregator.update(verdicts)
         if collect_verdicts:

@@ -10,6 +10,14 @@ it.
 
 All randomness flows through a ``numpy.random.Generator`` so experiments
 are reproducible bit-for-bit from a seed.
+
+The geometry itself — where clusters land, which line a burst starts
+on, which footprint a distribution draws — is **not** implemented here:
+every sampler delegates to the shared batched generators in
+:mod:`repro.scenarios.generators` (with ``size=1`` draws, which consume
+the generator stream identically to the scalar draws they replaced, so
+seeded histories are preserved).  The vectorized scenario subsystem and
+this scalar injector therefore share one source of truth.
 """
 
 from __future__ import annotations
@@ -18,6 +26,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Protocol, Sequence
 
 import numpy as np
+
+from repro.scenarios.generators import (
+    bernoulli_masks,
+    mostly_single_bit_footprints,
+    place_bursts,
+    place_clusters,
+    sample_footprints,
+)
 
 from .events import (
     ErrorEvent,
@@ -73,30 +89,19 @@ class FootprintDistribution:
         """A distribution dominated by SBUs with a tail of small clusters.
 
         Mirrors the paper's observation that today most events are
-        single-bit but a growing fraction are multi-bit.
+        single-bit but a growing fraction are multi-bit.  The weight
+        table is the canonical one from
+        :func:`repro.scenarios.generators.mostly_single_bit_footprints`.
         """
-        if not 0 <= multi_bit_fraction <= 1:
-            raise ValueError("multi_bit_fraction must be in [0, 1]")
-        single = 1.0 - multi_bit_fraction
-        tail = multi_bit_fraction
         return cls(
-            weights={
-                (1, 1): single,
-                (1, 2): tail * 0.4,
-                (2, 2): tail * 0.3,
-                (1, 4): tail * 0.15,
-                (4, 4): tail * 0.1,
-                (8, 8): tail * 0.05,
-            }
+            weights=dict(mostly_single_bit_footprints(multi_bit_fraction))
         )
 
     def sample(self, rng: np.random.Generator) -> tuple[int, int]:
         """Draw one footprint ``(height, width)``."""
-        footprints = list(self.weights.keys())
-        weights = np.array([self.weights[f] for f in footprints], dtype=float)
-        weights /= weights.sum()
-        index = rng.choice(len(footprints), p=weights)
-        return footprints[index]
+        footprints = tuple(self.weights.items())
+        heights, widths = sample_footprints(rng, footprints, count=1)
+        return int(heights[0]), int(widths[0])
 
 
 class ErrorInjector:
@@ -146,19 +151,34 @@ class ErrorInjector:
         """Inject a ``height`` x ``width`` cluster at a uniform position."""
         if height > self._target.rows or width > self._target.columns:
             raise ValueError("cluster does not fit in the target")
-        row = int(self._rng.integers(0, self._target.rows - height + 1))
-        column = int(self._rng.integers(0, self._target.columns - width + 1))
-        return self.apply(cluster_upset(row, column, height, width, kind=kind))
+        r0, c0 = place_clusters(
+            self._rng,
+            np.array([height], dtype=np.int64),
+            np.array([width], dtype=np.int64),
+            self._target.rows,
+            self._target.columns,
+        )
+        return self.apply(
+            cluster_upset(int(r0[0]), int(c0[0]), height, width, kind=kind)
+        )
 
     def inject_row_failure(self, kind: ErrorKind = ErrorKind.HARD) -> ErrorEvent:
         """Fail one uniformly chosen physical row."""
-        row = int(self._rng.integers(0, self._target.rows))
-        return self.apply(row_failure(row, self._target.columns, kind=kind))
+        starts = place_bursts(
+            self._rng, np.array([1], dtype=np.int64), self._target.rows
+        )
+        return self.apply(
+            row_failure(int(starts[0]), self._target.columns, kind=kind)
+        )
 
     def inject_column_failure(self, kind: ErrorKind = ErrorKind.HARD) -> ErrorEvent:
         """Fail one uniformly chosen physical column."""
-        column = int(self._rng.integers(0, self._target.columns))
-        return self.apply(column_failure(column, self._target.rows, kind=kind))
+        starts = place_bursts(
+            self._rng, np.array([1], dtype=np.int64), self._target.columns
+        )
+        return self.apply(
+            column_failure(int(starts[0]), self._target.rows, kind=kind)
+        )
 
     def inject_from_distribution(
         self,
@@ -183,9 +203,9 @@ class ErrorInjector:
         This is the manufacture-time defect model used by the yield
         analysis: faults land uniformly at random across the array.
         """
-        if not 0 <= probability <= 1:
-            raise ValueError("probability must be in [0, 1]")
-        mask = self._rng.random((self._target.rows, self._target.columns)) < probability
+        mask = bernoulli_masks(
+            self._rng, 1, self._target.rows, self._target.columns, probability
+        )[0].astype(bool)
         events = []
         for row, column in zip(*np.nonzero(mask)):
             events.append(

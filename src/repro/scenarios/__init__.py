@@ -1,0 +1,62 @@
+"""repro.scenarios — pluggable vectorized fault-scenario subsystem.
+
+Scenarios describe *what goes wrong* in a protected SRAM bank as
+batched ``(trials, rows, row_bits)`` error-mask generators, decoupled
+from *how it is evaluated* (:mod:`repro.engine`) and from *where the
+numbers surface* (:mod:`repro.api`):
+
+* :mod:`repro.scenarios.base` — the :class:`ScenarioModel` protocol,
+  the ``@scenario("name")`` decorator registry and the
+  :func:`make_scenario` factory.
+* :mod:`repro.scenarios.generators` — the one source of geometry truth:
+  batched NumPy kernels for cluster/burst placement, footprint
+  sampling, independent-cell draws and Poisson defect maps, shared with
+  the scalar :class:`repro.errors.ErrorInjector`.
+* :mod:`repro.scenarios.models` — the built-ins: ``iid_uniform``,
+  ``clustered_mbu``, ``fixed_cluster``, ``burst_row``,
+  ``burst_column``, ``hard_fault_map`` and ``composite``.
+
+Every registered scenario is reachable from the experiment catalog
+(``scenario="..."`` params on Monte Carlo experiments) and from the CLI
+(``python -m repro run ... --scenario NAME``).
+"""
+
+from .base import (
+    Geometry,
+    ScenarioBase,
+    ScenarioModel,
+    UnknownScenarioError,
+    get_scenario_class,
+    list_scenarios,
+    make_scenario,
+    scenario,
+    scenario_from_config,
+)
+from .models import (
+    BurstColumnScenario,
+    BurstRowScenario,
+    ClusteredMbuScenario,
+    CompositeScenario,
+    FixedClusterScenario,
+    HardFaultMapScenario,
+    IidUniformScenario,
+)
+
+__all__ = [
+    "Geometry",
+    "ScenarioBase",
+    "ScenarioModel",
+    "UnknownScenarioError",
+    "get_scenario_class",
+    "list_scenarios",
+    "make_scenario",
+    "scenario",
+    "scenario_from_config",
+    "BurstColumnScenario",
+    "BurstRowScenario",
+    "ClusteredMbuScenario",
+    "CompositeScenario",
+    "FixedClusterScenario",
+    "HardFaultMapScenario",
+    "IidUniformScenario",
+]

@@ -1,0 +1,278 @@
+"""Batched NumPy pattern generators — the one source of geometry truth.
+
+Every fault-pattern geometry of the project lives here exactly once:
+cluster placement, footprint sampling, burst (wordline/bitline)
+placement, independent-cell draws and Poisson defect maps.  The
+vectorized scenario models (:mod:`repro.scenarios.models`) build
+``(trials, rows, cols)`` mask batches from these kernels, and the scalar
+:class:`repro.errors.ErrorInjector` delegates its per-event placement to
+the same functions — so the two paths cannot drift apart, and a
+single-event draw is *bit-exact* between them (a ``size=1`` vectorized
+draw consumes the ``numpy.random.Generator`` stream identically to the
+scalar draw it replaced).
+
+All mask outputs are ``uint8`` 0/1 arrays in the error-mask domain of
+:mod:`repro.engine.batch`: a 1 means "this cell differs from its correct
+value".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "place_clusters",
+    "solid_cluster_masks",
+    "sample_footprints",
+    "spread_footprints",
+    "place_bursts",
+    "burst_masks",
+    "bernoulli_masks",
+    "exact_cells_masks",
+    "counted_cells_masks",
+    "poisson_defect_masks",
+    "mostly_single_bit_footprints",
+]
+
+#: Canonical "mostly single-bit with a multi-bit tail" footprint mix —
+#: the relative shape of the tail used by both the scalar
+#: :meth:`repro.errors.FootprintDistribution.mostly_single_bit` and the
+#: ``clustered_mbu`` scenario default.
+_MULTI_BIT_TAIL: tuple[tuple[tuple[int, int], float], ...] = (
+    ((1, 2), 0.4),
+    ((2, 2), 0.3),
+    ((1, 4), 0.15),
+    ((4, 4), 0.1),
+    ((8, 8), 0.05),
+)
+
+
+def mostly_single_bit_footprints(
+    multi_bit_fraction: float = 0.1,
+) -> tuple[tuple[tuple[int, int], float], ...]:
+    """SBU-dominated footprint weights with a small-cluster tail.
+
+    Mirrors the paper's observation that today most upsets are
+    single-bit but a growing fraction are multi-bit.
+    """
+    if not 0 <= multi_bit_fraction <= 1:
+        raise ValueError("multi_bit_fraction must be in [0, 1]")
+    return (((1, 1), 1.0 - multi_bit_fraction),) + tuple(
+        (shape, multi_bit_fraction * share) for shape, share in _MULTI_BIT_TAIL
+    )
+
+
+# ----------------------------------------------------------------------
+# clusters
+# ----------------------------------------------------------------------
+
+def place_clusters(
+    rng: np.random.Generator,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    rows: int,
+    cols: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform top-left corners for clusters of the given footprints.
+
+    Draw order (rows then columns, one bounded draw each) matches the
+    scalar injector's historical per-event draws, so seeded streams are
+    preserved across the delegation.
+    """
+    r0 = rng.integers(0, rows - heights + 1, size=heights.shape[0])
+    c0 = rng.integers(0, cols - widths + 1, size=widths.shape[0])
+    return r0, c0
+
+
+def solid_cluster_masks(
+    rng: np.random.Generator,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    rows: int,
+    cols: int,
+) -> np.ndarray:
+    """Uniformly placed solid clusters, one per trial, as bit masks."""
+    heights = np.minimum(np.asarray(heights, dtype=np.int64), rows)
+    widths = np.minimum(np.asarray(widths, dtype=np.int64), cols)
+    r0, c0 = place_clusters(rng, heights, widths, rows, cols)
+    row_idx = np.arange(rows)
+    col_idx = np.arange(cols)
+    row_hit = ((row_idx >= r0[:, None]) & (row_idx < (r0 + heights)[:, None]))
+    col_hit = ((col_idx >= c0[:, None]) & (col_idx < (c0 + widths)[:, None]))
+    # Batched outer product via einsum: several times faster than the
+    # boolean broadcast chain (one fused pass, no bool intermediates)
+    # over the (trials, rows, cols) output this call is bound by.
+    return np.einsum(
+        "tr,tc->trc", row_hit.astype(np.uint8), col_hit.astype(np.uint8)
+    )
+
+
+def sample_footprints(
+    rng: np.random.Generator,
+    footprints: "tuple[tuple[tuple[int, int], float], ...]",
+    count: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``count`` footprints ``(heights, widths)`` from weighted shapes."""
+    shapes = np.array([shape for shape, _w in footprints], dtype=np.int64)
+    weights = np.array([w for _s, w in footprints], dtype=float)
+    weights /= weights.sum()
+    index = rng.choice(len(footprints), size=count, p=weights)
+    return shapes[index, 0], shapes[index, 1]
+
+
+def spread_footprints(
+    rng: np.random.Generator,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    spread: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stretch footprints by geometric charge-diffusion tails.
+
+    With probability-parameter ``spread`` in ``[0, 1)`` each dimension
+    independently gains ``Geometric(1 - spread) - 1`` extra cells — a
+    memoryless tail modelling single-event charge spreading beyond the
+    nominal footprint.  ``spread == 0`` draws nothing and returns the
+    inputs unchanged (bit-exact with the unspread stream).
+    """
+    if not 0 <= spread < 1:
+        raise ValueError("spread must be in [0, 1)")
+    if spread == 0:
+        return np.asarray(heights, dtype=np.int64), np.asarray(widths, dtype=np.int64)
+    count = np.asarray(heights).shape[0]
+    extra_h = rng.geometric(1.0 - spread, size=count) - 1
+    extra_w = rng.geometric(1.0 - spread, size=count) - 1
+    return heights + extra_h, widths + extra_w
+
+
+# ----------------------------------------------------------------------
+# bursts (wordline / bitline failures)
+# ----------------------------------------------------------------------
+
+def place_bursts(
+    rng: np.random.Generator, spans: np.ndarray, n_lines: int
+) -> np.ndarray:
+    """Uniform start lines for bursts of ``spans`` consecutive lines."""
+    spans = np.minimum(np.asarray(spans, dtype=np.int64), n_lines)
+    return rng.integers(0, n_lines - spans + 1, size=spans.shape[0])
+
+
+def burst_masks(
+    rng: np.random.Generator,
+    count: int,
+    rows: int,
+    cols: int,
+    span: int,
+    axis: str,
+) -> np.ndarray:
+    """One full-extent burst per trial: ``span`` whole rows or columns.
+
+    ``axis="row"`` models wordline failures (every cell of ``span``
+    consecutive physical rows), ``axis="column"`` bitline failures.
+    """
+    if axis not in ("row", "column"):
+        raise ValueError(f"axis must be 'row' or 'column', got {axis!r}")
+    n_lines = rows if axis == "row" else cols
+    spans = np.full(count, span, dtype=np.int64)
+    starts = place_bursts(rng, spans, n_lines)
+    spans = np.minimum(spans, n_lines)
+    line_idx = np.arange(n_lines)
+    hit = (line_idx >= starts[:, None]) & (line_idx < (starts + spans)[:, None])
+    masks = np.zeros((count, rows, cols), dtype=np.uint8)
+    if axis == "row":
+        masks |= hit[:, :, None]
+    else:
+        masks |= hit[:, None, :]
+    return masks
+
+
+# ----------------------------------------------------------------------
+# independent cells
+# ----------------------------------------------------------------------
+
+def bernoulli_masks(
+    rng: np.random.Generator, count: int, rows: int, cols: int, p: float
+) -> np.ndarray:
+    """Every cell flips independently with probability ``p``."""
+    if not 0 <= p <= 1:
+        raise ValueError("flip probability must be in [0, 1]")
+    return (rng.random((count, rows * cols)) < p).astype(np.uint8).reshape(
+        count, rows, cols
+    )
+
+
+def exact_cells_masks(
+    rng: np.random.Generator, count: int, rows: int, cols: int, n_cells: int
+) -> np.ndarray:
+    """Exactly ``n_cells`` distinct uniformly-placed cells per trial."""
+    n_sites = rows * cols
+    if n_cells > n_sites:
+        raise ValueError("more faulty cells than array cells")
+    masks = np.zeros((count, n_sites), dtype=np.uint8)
+    if n_cells:
+        # argpartition of one uniform draw per cell gives n distinct
+        # uniform cells per trial in a single vectorized pass.
+        scores = rng.random((count, n_sites))
+        chosen = np.argpartition(scores, n_cells - 1, axis=1)[:, :n_cells]
+        masks[np.arange(count)[:, None], chosen] = 1
+    return masks.reshape(count, rows, cols)
+
+
+def counted_cells_masks(
+    rng: np.random.Generator, counts: np.ndarray, rows: int, cols: int
+) -> np.ndarray:
+    """Per-trial varying numbers of distinct uniformly-placed cells.
+
+    Generalizes :func:`exact_cells_masks` to a different cell count per
+    trial: the rank of each cell's uniform score is compared against the
+    trial's count, selecting exactly that many distinct uniform cells.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n_sites = rows * cols
+    if (counts < 0).any() or (counts > n_sites).any():
+        raise ValueError("cell counts must be in [0, array cells]")
+    n_trials = counts.shape[0]
+    if n_trials == 0 or not counts.any():
+        return np.zeros((n_trials, rows, cols), dtype=np.uint8)
+    kmax = int(counts.max())
+    if kmax > n_sites // 8:
+        # Dense counts: rank one uniform score per cell and keep each
+        # trial's smallest `count` — a uniform subset of that size.
+        scores = rng.random((n_trials, n_sites))
+        order = np.argsort(scores, axis=1)
+        ranks = np.empty_like(order)
+        np.put_along_axis(ranks, order, np.arange(n_sites)[None, :], axis=1)
+        masks = (ranks < counts[:, None]).astype(np.uint8)
+        return masks.reshape(n_trials, rows, cols)
+    masks = np.zeros((n_trials, n_sites), dtype=np.uint8)
+    # Sparse counts (the defect-map regime): draw cell indices directly
+    # and patch the rare within-trial collisions by redrawing — far
+    # cheaper than scoring every cell of every trial.  Each accepted
+    # cell is uniform over the array, so the resulting distinct set is a
+    # uniform subset of the requested size.
+    select = np.arange(kmax)[None, :] < counts[:, None]
+    trial_idx = np.broadcast_to(np.arange(n_trials)[:, None], (n_trials, kmax))
+    draws = rng.integers(0, n_sites, size=(n_trials, kmax))
+    masks[trial_idx[select], draws[select]] = 1
+    deficit_rows = np.nonzero(masks.sum(axis=1) < counts)[0]
+    while deficit_rows.size:
+        need = counts[deficit_rows] - masks[deficit_rows].sum(axis=1)
+        extra = rng.integers(0, n_sites, size=(deficit_rows.size, int(need.max())))
+        take = np.arange(extra.shape[1])[None, :] < need[:, None]
+        row_idx = np.broadcast_to(
+            deficit_rows[:, None], extra.shape
+        )
+        masks[row_idx[take], extra[take]] = 1
+        still = masks[deficit_rows].sum(axis=1) < counts[deficit_rows]
+        deficit_rows = deficit_rows[still]
+    return masks.reshape(n_trials, rows, cols)
+
+
+def poisson_defect_masks(
+    rng: np.random.Generator, count: int, rows: int, cols: int, density: float
+) -> np.ndarray:
+    """Manufacturing defect maps: Poisson(density * cells) faults per trial."""
+    if density < 0:
+        raise ValueError("defect density must be non-negative")
+    n_sites = rows * cols
+    counts = np.minimum(rng.poisson(density * n_sites, size=count), n_sites)
+    return counted_cells_masks(rng, counts, rows, cols)

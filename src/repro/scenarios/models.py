@@ -1,0 +1,329 @@
+"""Built-in fault scenarios: correlated soft, hard and combined models.
+
+Each scenario is a frozen, picklable dataclass registered by name (see
+:mod:`repro.scenarios.base`) whose :meth:`sample` emits a
+``(trials, rows, row_bits)`` error-mask batch from the generators in
+:mod:`repro.scenarios.generators`:
+
+``iid_uniform``
+    Spatially independent cell upsets — either exactly ``n_cells``
+    distinct uniform cells per trial (the manufacture-time defect model
+    behind the Fig. 8(a) yield analysis; bit-exact with the engine's
+    historical ``RandomCellsModel``) or Bernoulli flips at
+    ``flip_probability`` per cell.
+``clustered_mbu``
+    One single-event multi-bit upset per trial, footprint drawn from a
+    weighted distribution (the :mod:`repro.errors` injector semantics,
+    vectorized; bit-exact with the historical ``ClusterErrorModel``),
+    optionally stretched by a geometric charge-diffusion ``spread``.
+``fixed_cluster``
+    The same ``height`` x ``width`` cluster every trial.
+``burst_row`` / ``burst_column``
+    Wordline / bitline failures: ``span`` consecutive physical rows or
+    columns fail end to end.
+``hard_fault_map``
+    Manufacturing defect maps: a Poisson(``defect_density`` x cells)
+    number of faulty cells per trial (each trial is one die), placed
+    uniformly and modelled as inverted cells (the worst case for the
+    linear codes).
+``composite``
+    Soft clusters layered over a persistent hard map — the paper's
+    combined yield + reliability scenario.  Each population draws from
+    its own block-keyed RNG lane, so reconfiguring one never shifts the
+    other's placement.
+
+Faulty cells of hard populations combine with soft upsets by OR: a soft
+strike on a permanently faulty cell leaves the cell faulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .base import Geometry, ScenarioBase, scenario, scenario_from_config
+from .generators import (
+    bernoulli_masks,
+    burst_masks,
+    exact_cells_masks,
+    mostly_single_bit_footprints,
+    poisson_defect_masks,
+    sample_footprints,
+    solid_cluster_masks,
+    spread_footprints,
+)
+
+if TYPE_CHECKING:  # the scalar distribution type; never imported at runtime
+    from repro.errors.injector import FootprintDistribution
+
+__all__ = [
+    "IidUniformScenario",
+    "ClusteredMbuScenario",
+    "FixedClusterScenario",
+    "BurstRowScenario",
+    "BurstColumnScenario",
+    "HardFaultMapScenario",
+    "CompositeScenario",
+]
+
+
+Footprints = tuple[tuple[tuple[int, int], float], ...]
+
+
+def _normalize_footprints(raw: Any) -> Footprints:
+    """Coerce JSON-ish footprint shapes into the canonical tuple form."""
+    return tuple(
+        ((int(shape[0]), int(shape[1])), float(weight)) for shape, weight in raw
+    )
+
+
+# ----------------------------------------------------------------------
+# independent upsets
+# ----------------------------------------------------------------------
+
+@scenario("iid_uniform")
+@dataclass(frozen=True)
+class IidUniformScenario(ScenarioBase):
+    """Spatially independent uniform cell upsets.
+
+    Exactly one of the two knobs is active: ``n_cells`` places that many
+    *distinct* uniform cells per trial (bit-exact twin of the engine's
+    original ``RandomCellsModel``, and the model behind the Fig. 8(a)
+    yield simulation), while ``flip_probability`` flips every cell
+    independently.  With neither given, one cell per trial.
+    """
+
+    n_cells: "int | None" = None
+    flip_probability: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.n_cells is not None and self.flip_probability is not None:
+            raise ValueError("set n_cells or flip_probability, not both")
+        if self.n_cells is None and self.flip_probability is None:
+            object.__setattr__(self, "n_cells", 1)
+        if self.n_cells is not None and self.n_cells < 0:
+            raise ValueError("n_cells must be non-negative")
+        if self.flip_probability is not None and not 0 <= self.flip_probability <= 1:
+            raise ValueError("flip_probability must be in [0, 1]")
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        if self.n_cells is not None:
+            return exact_cells_masks(rng, count, spec.rows, spec.row_bits, self.n_cells)
+        return bernoulli_masks(
+            rng, count, spec.rows, spec.row_bits, self.flip_probability
+        )
+
+    def to_key(self) -> dict:
+        # The exact-count mode keeps the original RandomCellsModel key so
+        # pre-scenario cached results stay addressable.
+        if self.n_cells is not None:
+            return {"model": "random_cells", "n_cells": self.n_cells}
+        return {"model": "iid_uniform", "flip_probability": self.flip_probability}
+
+
+# ----------------------------------------------------------------------
+# clustered single-event upsets
+# ----------------------------------------------------------------------
+
+@scenario("clustered_mbu")
+@dataclass(frozen=True)
+class ClusteredMbuScenario(ScenarioBase):
+    """One clustered upset per trial, footprint drawn from a distribution.
+
+    ``footprints`` is a tuple of ``((height, width), weight)`` pairs —
+    the hashable/picklable twin of
+    :class:`repro.errors.injector.FootprintDistribution` (``None`` picks
+    the mostly-single-bit mix).  ``spread`` > 0 stretches each footprint
+    by geometric charge-diffusion tails; at the default 0 the sampled
+    stream is bit-exact with the pre-scenario engine model.
+    """
+
+    footprints: "Footprints | None" = None
+    spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        footprints = self.footprints
+        if footprints is None:
+            footprints = tuple(sorted(mostly_single_bit_footprints(0.1)))
+        footprints = _normalize_footprints(footprints)
+        if not footprints:
+            raise ValueError("footprints must not be empty")
+        for (h, w), weight in footprints:
+            if h < 1 or w < 1 or weight < 0:
+                raise ValueError(f"invalid footprint entry {((h, w), weight)}")
+        if sum(w for _f, w in footprints) <= 0:
+            raise ValueError("at least one footprint needs positive weight")
+        if not 0 <= self.spread < 1:
+            raise ValueError("spread must be in [0, 1)")
+        object.__setattr__(self, "footprints", footprints)
+
+    @classmethod
+    def from_distribution(
+        cls, distribution: "FootprintDistribution", spread: float = 0.0
+    ) -> "ClusteredMbuScenario":
+        return cls(
+            footprints=tuple(sorted(distribution.weights.items())), spread=spread
+        )
+
+    @classmethod
+    def mostly_single_bit(cls, multi_bit_fraction: float = 0.1) -> "ClusteredMbuScenario":
+        return cls(
+            footprints=tuple(sorted(mostly_single_bit_footprints(multi_bit_fraction)))
+        )
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        heights, widths = sample_footprints(rng, self.footprints, count)
+        if self.spread:
+            heights, widths = spread_footprints(rng, heights, widths, self.spread)
+        return solid_cluster_masks(rng, heights, widths, spec.rows, spec.row_bits)
+
+    def to_key(self) -> dict:
+        key = {
+            "model": "cluster_distribution",
+            "footprints": [[list(f), w] for f, w in self.footprints],
+        }
+        # Only a non-default spread extends the key: default configs keep
+        # addressing the results cached before spread existed.
+        if self.spread:
+            key["spread"] = self.spread
+        return key
+
+
+@scenario("fixed_cluster")
+@dataclass(frozen=True)
+class FixedClusterScenario(ScenarioBase):
+    """The same ``height`` x ``width`` cluster every trial, placed uniformly."""
+
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.height < 1 or self.width < 1:
+            raise ValueError("cluster dimensions must be positive")
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        heights = np.full(count, self.height, dtype=np.int64)
+        widths = np.full(count, self.width, dtype=np.int64)
+        return solid_cluster_masks(rng, heights, widths, spec.rows, spec.row_bits)
+
+    def to_key(self) -> dict:
+        return {"model": "fixed_cluster", "height": self.height, "width": self.width}
+
+
+# ----------------------------------------------------------------------
+# bursts
+# ----------------------------------------------------------------------
+
+@scenario("burst_row")
+@dataclass(frozen=True)
+class BurstRowScenario(ScenarioBase):
+    """Wordline failure: ``span`` consecutive physical rows fail entirely."""
+
+    span: int = 1
+
+    def __post_init__(self) -> None:
+        if self.span < 1:
+            raise ValueError("span must be positive")
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        return burst_masks(rng, count, spec.rows, spec.row_bits, self.span, "row")
+
+    def to_key(self) -> dict:
+        return {"model": "burst_row", "span": self.span}
+
+
+@scenario("burst_column")
+@dataclass(frozen=True)
+class BurstColumnScenario(ScenarioBase):
+    """Bitline failure: ``span`` consecutive physical columns fail entirely."""
+
+    span: int = 1
+
+    def __post_init__(self) -> None:
+        if self.span < 1:
+            raise ValueError("span must be positive")
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        return burst_masks(rng, count, spec.rows, spec.row_bits, self.span, "column")
+
+    def to_key(self) -> dict:
+        return {"model": "burst_column", "span": self.span}
+
+
+# ----------------------------------------------------------------------
+# hard faults and combined populations
+# ----------------------------------------------------------------------
+
+@scenario("hard_fault_map")
+@dataclass(frozen=True)
+class HardFaultMapScenario(ScenarioBase):
+    """Manufacturing defect maps sampled per trial from a Poisson density.
+
+    Each trial is one manufactured die: the number of defective cells is
+    Poisson with mean ``defect_density * rows * row_bits`` and the cells
+    land uniformly.  Faults are modelled as inverted cells — the worst
+    case for the codes (stuck-at faults matching the stored value are
+    harmless and would only improve the estimates).
+    """
+
+    defect_density: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.defect_density < 0:
+            raise ValueError("defect_density must be non-negative")
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        return poisson_defect_masks(
+            rng, count, spec.rows, spec.row_bits, self.defect_density
+        )
+
+    def to_key(self) -> dict:
+        return {"model": "hard_fault_map", "defect_density": self.defect_density}
+
+
+@scenario("composite")
+@dataclass(frozen=True)
+class CompositeScenario(ScenarioBase):
+    """Soft upsets layered over a persistent hard-fault map.
+
+    The paper's combined yield + reliability regime: every trial first
+    samples a manufacturing defect map (``hard``), then a soft event
+    (``soft``) on top; a cell is in error when either population hits it
+    (a soft strike on a permanently faulty cell leaves it faulty).
+
+    Sub-scenarios may be given as built objects, names, or config
+    mappings (``{"scenario": "clustered_mbu", "spread": 0.2}``).  On the
+    engine path each population draws from its **own** block-keyed RNG
+    lane, so results stay worker/chunk-invariant *and* reconfiguring one
+    population never shifts the other's draws.
+    """
+
+    soft: Any = None
+    hard: Any = None
+
+    def __post_init__(self) -> None:
+        soft = self.soft if self.soft is not None else ClusteredMbuScenario()
+        hard = self.hard if self.hard is not None else HardFaultMapScenario()
+        object.__setattr__(self, "soft", scenario_from_config(soft))
+        object.__setattr__(self, "hard", scenario_from_config(hard))
+
+    def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
+        # Sequential fallback for direct use; the engine path goes
+        # through sample_block's independent lanes instead.
+        hard = self.hard.sample(rng, count, spec)
+        soft = self.soft.sample(rng, count, spec)
+        return hard | soft
+
+    def sample_block(self, streams, count: int, spec: Geometry) -> np.ndarray:
+        hard = self.hard.sample(streams.lane(0), count, spec)
+        soft = self.soft.sample(streams.lane(1), count, spec)
+        return hard | soft
+
+    def to_key(self) -> dict:
+        return {
+            "model": "composite",
+            "soft": self.soft.to_key(),
+            "hard": self.hard.to_key(),
+        }

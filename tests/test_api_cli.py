@@ -62,6 +62,80 @@ class TestRun:
         out = capsys.readouterr().out
         assert "ECC Only" in out
 
+    def test_output_writes_json_by_default(self, capsys, tmp_path):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "run", "fig3.coverage", "--trials", "64", "--seed", "7",
+            "--output", str(out_path), "-q",
+        ])
+        assert code == 0
+        from_cli = Result.from_json(out_path.read_text())
+        assert from_cli.experiment == "fig3.coverage"
+        assert from_cli.backend == "monte_carlo"
+
+    def test_output_writes_csv_by_suffix(self, capsys, tmp_path):
+        out_path = tmp_path / "result.csv"
+        code = main([
+            "run", "fig8.reliability", "-q", "--output", str(out_path),
+        ])
+        assert code == 0
+        rows = Result.rows_from_csv(out_path.read_text())
+        assert any(row["series"] == "With 2D coding" for row in rows)
+
+    def test_scenario_flag_selects_scenario(self, capsys, tmp_path):
+        out_path = tmp_path / "bursts.json"
+        code = main([
+            "run", "fig3.coverage", "--trials", "64", "--seed", "7",
+            "--scenario", "burst_row", "--output", str(out_path), "-q",
+        ])
+        assert code == 0
+        result = Result.from_json(out_path.read_text())
+        assert result.spec.param_dict()["scenario"] == "burst_row"
+        assert result.data_dict()["scenario"]["model"] == "burst_row"
+
+    def test_scenario_flag_matches_param_spelling(self, capsys, tmp_path):
+        flag_path = tmp_path / "flag.json"
+        param_path = tmp_path / "param.json"
+        argv = ["run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q"]
+        assert main([*argv, "--scenario", "burst_column", "--output", str(flag_path)]) == 0
+        assert main([*argv, "-p", "scenario=burst_column", "--output", str(param_path)]) == 0
+        assert Result.from_json(flag_path.read_text()) == Result.from_json(
+            param_path.read_text()
+        )
+
+    def test_unknown_scenario_exits_usage_error(self, capsys):
+        code = main([
+            "run", "fig3.coverage", "--trials", "8", "--scenario", "bogus_scenario",
+        ])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_conflicting_scenario_flag_and_param_exit_usage_error(self, capsys):
+        code = main([
+            "run", "fig3.coverage", "--trials", "8",
+            "--scenario", "burst_row", "-p", "scenario=clustered_mbu",
+        ])
+        assert code == 2
+        assert "conflicting scenarios" in capsys.readouterr().err
+
+    def test_unsupported_scenario_for_experiment_exits_usage_error(self, capsys):
+        code = main(["run", "fig8.yield", "--trials", "8", "--scenario", "burst_row"])
+        assert code == 2
+        assert "iid_uniform" in capsys.readouterr().err
+
+    def test_param_ignored_by_scenario_exits_usage_error(self, capsys):
+        code = main([
+            "run", "fig3.coverage", "--trials", "8", "--scenario", "burst_row",
+            "-p", "footprints=[[[8, 8], 1.0]]",
+        ])
+        assert code == 2
+        assert "no effect" in capsys.readouterr().err
+
+    def test_scenario_on_deterministic_experiment_exits_usage_error(self, capsys):
+        code = main(["run", "fig1.storage", "--scenario", "clustered_mbu"])
+        assert code == 2
+        assert "does not accept" in capsys.readouterr().err
+
     def test_unknown_experiment_exits_nonzero(self, capsys):
         assert main(["run", "figX.nope"]) == 2
         err = capsys.readouterr().err

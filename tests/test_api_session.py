@@ -30,6 +30,12 @@ _FAST_SPECS = {
     "sweep.mc_coverage": ExperimentSpec(
         "sweep.mc_coverage", trials=64, params={"model": "fixed", "height": 2, "width": 2}
     ),
+    "sweep.mbu_cluster": ExperimentSpec(
+        "sweep.mbu_cluster",
+        trials=32,
+        params={"cluster_sizes": [1, 4], "degrees": [2], "rows": 32,
+                "vertical_groups": 8},
+    ),
     "sweep.scheme_cost": ExperimentSpec("sweep.scheme_cost", params={"cache": "l2"}),
 }
 
