@@ -23,7 +23,7 @@ from repro.engine import (
 )
 from repro.engine.rng import block_generator
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 _TARGET_SPEEDUP = 50.0
 
@@ -63,6 +63,16 @@ def test_engine_throughput_vs_scalar_on_fig3_workload():
             "speedup": f"{speedup:.0f}x (target >= {_TARGET_SPEEDUP:.0f}x)",
         },
     )
+    write_bench(
+        "engine",
+        {
+            "workload": "fig3 2d_edc8_edc32, 256x288, cluster model",
+            "engine_trials_per_second": round(engine_rate, 1),
+            "scalar_trials_per_second": round(scalar_rate, 2),
+            "speedup": round(speedup, 1),
+            "target_speedup": _TARGET_SPEEDUP,
+        },
+    )
     # The paths agree on the shared trials (sanity, not the speed claim).
     assert list(engine_result.verdicts[:n_scalar]) == scalar_verdict_codes
     assert speedup >= _TARGET_SPEEDUP, (
@@ -89,6 +99,13 @@ def test_engine_scales_with_trial_count(benchmark):
         {
             "512 trials (ms/trial)": round(1000 * per_trial_small, 3),
             "4096 trials (ms/trial)": round(1000 * per_trial_large, 3),
+        },
+    )
+    write_bench(
+        "engine_scaling",
+        {
+            "ms_per_trial_512": round(1000 * per_trial_small, 4),
+            "ms_per_trial_4096": round(1000 * per_trial_large, 4),
         },
     )
     # Allow generous noise on shared CI machines; the point is that the

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.api import ExperimentSpec
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 
 def test_fig1b_storage_overhead(benchmark, api_session):
@@ -14,6 +14,7 @@ def test_fig1b_storage_overhead(benchmark, api_session):
         "Fig. 1(b) — Extra memory storage (%)",
         {f"{bits}b word": values for bits, values in storage.items()},
     )
+    write_bench("fig1_storage", {"storage_overhead_percent": storage})
     for word_bits in ("64", "256"):
         values = storage[word_bits]
         # Storage grows steeply with correction strength.
@@ -31,6 +32,7 @@ def test_fig1c_energy_overhead(benchmark, api_session):
     result = benchmark(lambda: api_session.run(ExperimentSpec("fig1.energy")))
     energy = result.data_dict()
     print_series("Fig. 1(c) — Extra energy per read (%)", energy)
+    write_bench("fig1_energy", {"energy_overhead_percent": energy})
     for label, values in energy.items():
         assert values["EDC8"] < values["SECDED"] < values["DECTED"] < values["OECNED"]
         # Strong multi-bit ECC costs several times the light-weight codes.

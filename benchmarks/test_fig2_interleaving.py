@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.api import ExperimentSpec
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 
 def test_fig2_interleaving_energy(benchmark, api_session):
@@ -16,6 +16,15 @@ def test_fig2_interleaving_energy(benchmark, api_session):
 
     small = results["64kB cache (72,64)"]
     large = results["4MB cache (266,256)"]
+    write_bench(
+        "fig2",
+        {
+            "normalized_energy_at_16to1": {
+                cache: {target: series[-1] for target, series in per_target.items()}
+                for cache, per_target in results.items()
+            }
+        },
+    )
 
     # Energy increases (essentially) monotonically with the interleaving
     # degree; a small dip is tolerated where extra wordline segmentation

@@ -30,7 +30,7 @@ from repro.engine import (
 from repro.engine.rng import block_generator
 from repro.errors import ErrorInjector
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 
 def test_fig3_coverage_and_overhead(benchmark, api_session):
@@ -45,6 +45,17 @@ def test_fig3_coverage_and_overhead(benchmark, api_session):
                 "storage %": round(100 * report["storage_overhead"], 1),
             }
             for report in reports.values()
+        },
+    )
+    write_bench(
+        "fig3_coverage",
+        {
+            key: {
+                "correctable_rows": report["correctable_rows"],
+                "correctable_columns": report["correctable_columns"],
+                "storage_overhead": report["storage_overhead"],
+            }
+            for key, report in reports.items()
         },
     )
     secded = reports["secded_intv4"]
@@ -102,6 +113,13 @@ def test_fig3_monte_carlo_coverage_engine(benchmark, api_session):
         {
             key: f"{e['point']:.4f} [{e['lower']:.4f}, {e['upper']:.4f}]"
             for key, e in estimates.items()
+        },
+    )
+    write_bench(
+        "fig3_monte_carlo",
+        {
+            "trials": 2048,
+            "coverage": {key: e["point"] for key, e in estimates.items()},
         },
     )
     two_d = estimates["2d_edc8_edc32"]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.api import ExperimentSpec
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 
 def test_fig7_scheme_overheads(benchmark, api_session):
@@ -22,6 +22,21 @@ def test_fig7_scheme_overheads(benchmark, api_session):
                 for cost in costs.values()
             },
         )
+
+    write_bench(
+        "fig7",
+        {
+            cache_label: {
+                key: {
+                    "code_area": round(cost["code_area"], 1),
+                    "coding_latency": round(cost["coding_latency"], 1),
+                    "dynamic_power": round(cost["dynamic_power"], 1),
+                }
+                for key, cost in costs.items()
+            }
+            for cache_label, costs in results.items()
+        },
+    )
 
     for cache_label, costs in results.items():
         two_d = costs["2d"]

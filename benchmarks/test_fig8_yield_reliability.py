@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.api import ExperimentSpec
 
-from reporting import print_series
+from reporting import print_series, write_bench
 
 
 def test_fig8a_yield(benchmark, api_session):
@@ -21,6 +21,17 @@ def test_fig8a_yield(benchmark, api_session):
     ecc_only = curves["ECC Only"]
     ecc_16 = curves["ECC + Spare_16"]
     ecc_32 = curves["ECC + Spare_32"]
+    write_bench(
+        "fig8_yield",
+        {
+            "final_yield_at_4000_cells": {
+                "Spare_128": spares_only[-1],
+                "ECC Only": ecc_only[-1],
+                "ECC + Spare_16": ecc_16[-1],
+                "ECC + Spare_32": ecc_32[-1],
+            }
+        },
+    )
 
     # Spares-only collapses first, ECC-only degrades steadily, and the
     # combination keeps the yield high across the whole sweep.
@@ -39,6 +50,16 @@ def test_fig8b_reliability(benchmark, api_session):
     print_series(
         "Fig. 8(b) — probability all soft errors avoid faulty words (5-year horizon)",
         {label: [round(v, 3) for v in values] for label, values in curves.items()},
+    )
+    write_bench(
+        "fig8_reliability",
+        {
+            "survival_at_5_years": {
+                label: values[-1]
+                for label, values in curves.items()
+                if label != "years"
+            }
+        },
     )
     assert all(value == 1.0 for value in curves["With 2D coding"])
     # Without 2D coding, reliability decays over time and with the hard

@@ -44,8 +44,12 @@ def show_vlsi_costs() -> None:
 
 def show_performance_cost() -> None:
     print("\n=== Expected IPC cost of 2D protection (fat CMP) ===")
-    spec = ExperimentSpec("fig5.performance", seed=11, params={"n_cycles": 4_000})
-    losses = SESSION.run(spec).data_dict()["fat"]["OLTP"]
+    spec = ExperimentSpec(
+        "fig5.performance", trials=24, seed=11, params={"n_cycles": 4_000}
+    )
+    data = SESSION.run(spec).data_dict()
+    losses = data["ipc_loss"]["fat"]["OLTP"]
+    intervals = data["intervals"]["fat"]["OLTP"]
     labels = {
         "l1": "Protected L1 D-cache",
         "l1_ps": "Protected L1 D-cache + port stealing",
@@ -53,7 +57,30 @@ def show_performance_cost() -> None:
         "l1_ps_l2": "Protected L1 (PS) + protected L2",
     }
     for key, label in labels.items():
-        print(f"  {label:<42} {losses[key]:5.2f}% IPC loss (OLTP)")
+        half = (intervals[key]["upper"] - intervals[key]["lower"]) / 2
+        print(
+            f"  {label:<42} {losses[key]:5.2f} ± {half:4.2f}% IPC loss "
+            f"(OLTP, {data['trials']} trials)"
+        )
+
+
+def show_perf_sensitivity() -> None:
+    print("\n=== Port-stealing sensitivity: loss vs store-queue depth ===")
+    spec = ExperimentSpec(
+        "sweep.perf_sensitivity",
+        trials=16,
+        params={"n_cycles": 3_000, "store_queue": [2, 8, 64],
+                "l1_ports": [2], "burstiness": [4.0]},
+    )
+    data = SESSION.run(spec).data_dict()
+    depths = data["store_queue"]
+    print("  store-queue entries:  " + "  ".join(f"{d:>6}" for d in depths))
+    for ports, per_burst in data["loss"].items():
+        for burst, points in per_burst.items():
+            row = "  ".join(f"{points[str(d)]['mean']:5.2f}%" for d in depths)
+            print(f"  {data['cmp']} CMP, {ports} ports, burstiness {burst}:  {row}")
+    print("  (a shallower store queue bounds the deferred-read queue, so")
+    print("   more read-before-write reads issue as contending accesses)")
 
 
 def show_mbu_cluster_sweep() -> None:
@@ -92,6 +119,7 @@ def main() -> None:
     show_coverage_and_storage()
     show_vlsi_costs()
     show_performance_cost()
+    show_perf_sensitivity()
     show_mbu_cluster_sweep()
     show_yield_benefit()
     print("\nConclusion: 2D coding reaches 32x32 coverage at a fraction of the")

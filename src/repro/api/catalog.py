@@ -16,10 +16,9 @@ from __future__ import annotations
 
 from repro.cmp import (
     PROTECTION_SCENARIOS,
+    ProtectionConfig,
     fat_cmp_config,
     lean_cmp_config,
-    compare_protection,
-    simulate,
 )
 from repro.coding import code_overhead, standard_codes
 from repro.core.coverage import (
@@ -80,6 +79,13 @@ def _estimate_payload(estimate) -> dict:
         "lower": estimate.lower,
         "upper": estimate.upper,
     }
+
+
+def _mean_payload(estimate) -> dict:
+    """JSON-pure form of a :class:`repro.engine.MeanEstimate`."""
+    import dataclasses
+
+    return dataclasses.asdict(estimate)
 
 
 # ----------------------------------------------------------------------
@@ -329,61 +335,134 @@ def _cmp_configs():
     return {"fat": fat_cmp_config(), "lean": lean_cmp_config()}
 
 
+def _run_perf_grid(ctx, cmp_cfg, profile, protections, n_cycles):
+    """One replicated performance grid under the session's resources."""
+    from repro.perf import run_performance_grid
+
+    return run_performance_grid(
+        cmp_cfg,
+        profile,
+        protections,
+        n_cycles=n_cycles,
+        n_trials=ctx.trials,
+        seed=ctx.seed,
+        n_workers=ctx.session.workers,
+        cache=ctx.session.cache,
+    )
+
+
 @experiment(
     "fig5.performance",
+    backend="monte_carlo",
     description="IPC loss (%) per CMP, workload and protection scenario",
     figure="Fig. 5",
-    defaults={"seed": 7, "n_cycles": 6_000},
+    defaults={"trials": 32, "seed": 7, "n_cycles": 6_000},
 )
 def _fig5_performance(ctx):
+    """Replicated matched-pair IPC-loss measurements (``repro.perf``).
+
+    Every (CMP, workload) cell runs ``trials`` independent replicate
+    trials of the vectorized contention model; the baseline and all
+    four protection bars of a cell share each trial's draws, so the
+    per-trial loss is a paired difference.  ``data["ipc_loss"]`` keeps
+    the legacy ``{cmp: {workload: {scenario: loss%}}}`` shape;
+    ``data["intervals"]`` adds the normal confidence intervals the
+    scalar single-seed pipeline could not provide.
+    """
+    from repro.engine import MeanEstimate
+    from repro.perf import paired_loss_percent
+
     n_cycles = int(ctx.param("n_cycles"))
     scenarios = ("l1", "l1_ps", "l2", "l1_ps_l2")
+    grid = {"baseline": PROTECTION_SCENARIOS["baseline"]}
+    grid.update({key: PROTECTION_SCENARIOS[key] for key in scenarios})
     data: dict[str, dict[str, dict[str, float]]] = {}
+    intervals: dict[str, dict[str, dict[str, dict]]] = {}
     for cmp_name, cmp_cfg in _cmp_configs().items():
         per_workload: dict[str, dict[str, float]] = {}
+        per_workload_ci: dict[str, dict[str, dict]] = {}
         for workload, profile in PAPER_WORKLOADS.items():
+            results = _run_perf_grid(ctx, cmp_cfg, profile, grid, n_cycles)
+            baseline = results["baseline"].aggregate_ipc
             losses = {}
+            cis = {}
             for key in scenarios:
-                comparison = compare_protection(
-                    cmp_cfg, profile, PROTECTION_SCENARIOS[key], n_cycles, ctx.seed
+                per_trial = paired_loss_percent(
+                    baseline, results[key].aggregate_ipc
                 )
-                losses[key] = comparison.ipc_loss_percent
+                estimate = MeanEstimate.from_samples(per_trial, ctx.confidence)
+                # Per-trial losses are structurally non-negative (a
+                # protected run on the same draws can only add delay),
+                # so the mean needs no clipping and always agrees with
+                # its interval payload.
+                losses[key] = estimate.mean
+                cis[key] = _mean_payload(estimate)
             per_workload[workload] = losses
+            per_workload_ci[workload] = cis
         data[cmp_name] = per_workload
+        intervals[cmp_name] = per_workload_ci
     workloads = tuple(PAPER_WORKLOADS)
     series = [
         Series(
             f"{cmp_name}:{scenario}",
             x=workloads,
             y=[data[cmp_name][w][scenario] for w in workloads],
+            lower=[intervals[cmp_name][w][scenario]["lower"] for w in workloads],
+            upper=[intervals[cmp_name][w][scenario]["upper"] for w in workloads],
             units="% IPC loss",
         )
         for cmp_name in data
         for scenario in scenarios
     ]
-    return ctx.result(data, series, meta={"n_cycles": n_cycles})
+    payload = {
+        "ipc_loss": data,
+        "intervals": intervals,
+        "trials": int(ctx.trials),
+    }
+    return ctx.result(payload, series, meta={"n_cycles": n_cycles})
 
 
 @experiment(
     "fig6.access_breakdown",
+    backend="monte_carlo",
     description="Cache accesses per 100 cycles, broken down by type",
     figure="Fig. 6",
-    defaults={"seed": 7, "n_cycles": 6_000},
+    defaults={"trials": 32, "seed": 7, "n_cycles": 6_000},
 )
 def _fig6_access_breakdown(ctx):
+    """Replicated access-breakdown measurements (``repro.perf``).
+
+    ``data["breakdowns"]`` keeps the legacy ``{cmp: {workload: {level:
+    {component: accesses/100cy}}}}`` shape (now a trial mean);
+    ``data["intervals"]`` carries the per-component normal CIs.
+    """
     n_cycles = int(ctx.param("n_cycles"))
+    protections = {"l1_ps_l2": PROTECTION_SCENARIOS["l1_ps_l2"]}
     data: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    intervals: dict[str, dict[str, dict[str, dict[str, dict]]]] = {}
     for cmp_name, cmp_cfg in _cmp_configs().items():
         per_workload: dict[str, dict[str, dict[str, float]]] = {}
+        per_workload_ci: dict[str, dict[str, dict[str, dict]]] = {}
         for workload, profile in PAPER_WORKLOADS.items():
-            sim = simulate(
-                cmp_cfg, profile, PROTECTION_SCENARIOS["l1_ps_l2"], n_cycles, ctx.seed
-            )
-            per_workload[workload] = {
-                "l1": sim.l1_breakdown.as_dict(),
-                "l2": sim.l2_breakdown.as_dict(),
-            }
+            result = _run_perf_grid(ctx, cmp_cfg, profile, protections, n_cycles)[
+                "l1_ps_l2"
+            ]
+            per_level: dict[str, dict[str, float]] = {}
+            per_level_ci: dict[str, dict[str, dict]] = {}
+            for level in ("l1", "l2"):
+                estimates = result.breakdown_estimates(level, ctx.confidence)
+                per_level[level] = {
+                    component: estimate.mean
+                    for component, estimate in estimates.items()
+                }
+                per_level_ci[level] = {
+                    component: _mean_payload(estimate)
+                    for component, estimate in estimates.items()
+                }
+            per_workload[workload] = per_level
+            per_workload_ci[workload] = per_level_ci
         data[cmp_name] = per_workload
+        intervals[cmp_name] = per_workload_ci
     workloads = tuple(PAPER_WORKLOADS)
     series = []
     for cmp_name, per_workload in data.items():
@@ -395,10 +474,23 @@ def _fig6_access_breakdown(ctx):
                         f"{cmp_name}:{level}:{component}",
                         x=workloads,
                         y=[per_workload[w][level][component] for w in workloads],
+                        lower=[
+                            intervals[cmp_name][w][level][component]["lower"]
+                            for w in workloads
+                        ],
+                        upper=[
+                            intervals[cmp_name][w][level][component]["upper"]
+                            for w in workloads
+                        ],
                         units="accesses / 100 cycles",
                     )
                 )
-    return ctx.result(data, series, meta={"n_cycles": n_cycles})
+    payload = {
+        "breakdowns": data,
+        "intervals": intervals,
+        "trials": int(ctx.trials),
+    }
+    return ctx.result(payload, series, meta={"n_cycles": n_cycles})
 
 
 # ----------------------------------------------------------------------
@@ -757,6 +849,123 @@ def _sweep_mbu_cluster(ctx):
         "coverage": coverage,
     }
     return ctx.result(data, series, meta={"rows": rows, "data_bits": data_bits})
+
+
+@experiment(
+    "sweep.perf_sensitivity",
+    backend="monte_carlo",
+    description="IPC loss vs store-queue depth x L1 ports x burstiness",
+    defaults={
+        "trials": 16,
+        "seed": 11,
+        "n_cycles": 4_000,
+        "cmp": "fat",
+        "workload": "OLTP",
+        "protection": "l1_ps",
+        "store_queue": (2, 8, 64),
+        "l1_ports": (1, 2),
+        "burstiness": (2.0, 4.0),
+    },
+)
+def _sweep_perf_sensitivity(ctx):
+    """How the port-stealing machinery degrades as its resources shrink.
+
+    Sweeps the matched-pair IPC loss of one protected (CMP, workload)
+    cell over the store-queue depth (which bounds the deferred
+    read-before-write queue), the number of L1 ports (which sets the
+    idle slots port stealing can use) and the workload burstiness
+    (which concentrates demand into the cycles stealing competes for).
+    Every point runs ``trials`` replicates through ``repro.perf`` and
+    reports mean loss with a normal confidence interval — the paper's
+    Section 5.1 sensitivity arguments, quantified.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.engine import MeanEstimate
+    from repro.perf import paired_loss_percent, run_performance_grid
+
+    n_cycles = int(ctx.param("n_cycles"))
+    cmp_name = str(ctx.param("cmp"))
+    configs = _cmp_configs()
+    if cmp_name not in configs:
+        raise ValueError(
+            f"unknown cmp {cmp_name!r}; pick one of {', '.join(configs)}"
+        )
+    base_cmp = configs[cmp_name]
+    workload = str(ctx.param("workload"))
+    profile = PAPER_WORKLOADS.get(workload)
+    if profile is None:
+        raise ValueError(
+            f"unknown workload {workload!r}; pick one of {', '.join(PAPER_WORKLOADS)}"
+        )
+    protection_key = str(ctx.param("protection"))
+    protection = PROTECTION_SCENARIOS.get(protection_key)
+    if protection is None or not protection.any_protection:
+        eligible = [k for k, p in PROTECTION_SCENARIOS.items() if p.any_protection]
+        raise ValueError(
+            f"protection must be one of {', '.join(eligible)}, got {protection_key!r}"
+        )
+
+    store_queue = [int(v) for v in ctx.param("store_queue")]
+    l1_ports = [int(v) for v in ctx.param("l1_ports")]
+    burstiness = [float(v) for v in ctx.param("burstiness")]
+
+    loss: dict[str, dict[str, dict[str, dict]]] = {}
+    series = []
+    for ports in l1_ports:
+        per_ports: dict[str, dict[str, dict]] = {}
+        for burst in burstiness:
+            per_burst: dict[str, dict] = {}
+            for depth in store_queue:
+                cmp_cfg = _replace(
+                    base_cmp,
+                    core=_replace(
+                        base_cmp.core, store_queue_entries=depth, burstiness=burst
+                    ),
+                    l1d=_replace(base_cmp.l1d, n_ports=ports),
+                )
+                results = run_performance_grid(
+                    cmp_cfg,
+                    profile,
+                    {
+                        "baseline": ProtectionConfig(label="baseline"),
+                        "protected": protection,
+                    },
+                    n_cycles=n_cycles,
+                    n_trials=ctx.trials,
+                    seed=ctx.seed,
+                    n_workers=ctx.session.workers,
+                    cache=ctx.session.cache,
+                )
+                per_trial = paired_loss_percent(
+                    results["baseline"].aggregate_ipc,
+                    results["protected"].aggregate_ipc,
+                )
+                estimate = MeanEstimate.from_samples(per_trial, ctx.confidence)
+                per_burst[str(depth)] = _mean_payload(estimate)
+            per_ports[str(burst)] = per_burst
+            series.append(
+                Series(
+                    f"ports={ports}, burstiness={burst}",
+                    x=store_queue,
+                    y=[per_burst[str(d)]["mean"] for d in store_queue],
+                    lower=[per_burst[str(d)]["lower"] for d in store_queue],
+                    upper=[per_burst[str(d)]["upper"] for d in store_queue],
+                    units="% IPC loss",
+                )
+            )
+        loss[str(ports)] = per_ports
+    data = {
+        "cmp": cmp_name,
+        "workload": workload,
+        "protection": protection_key,
+        "store_queue": store_queue,
+        "l1_ports": l1_ports,
+        "burstiness": burstiness,
+        "trials": int(ctx.trials),
+        "loss": loss,
+    }
+    return ctx.result(data, series, meta={"n_cycles": n_cycles})
 
 
 @experiment(

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["PortScheduler", "BankScheduler", "StealQueue"]
+__all__ = ["DEFAULT_STEAL_DEADLINE", "PortScheduler", "BankScheduler", "StealQueue"]
+
+#: Cycles a deferred read-before-write read may wait for an idle port
+#: slot before its store retires and it must issue as a regular,
+#: contending access.  Shared with the vectorized kernel
+#: (:mod:`repro.perf.kernel`), which must match this exactly.
+DEFAULT_STEAL_DEADLINE = 16
 
 
 class PortScheduler:
@@ -93,7 +99,7 @@ class StealQueue:
       retire — after which it is issued as a regular, contending access.
     """
 
-    def __init__(self, capacity: int, deadline: int = 16):
+    def __init__(self, capacity: int, deadline: int = DEFAULT_STEAL_DEADLINE):
         if capacity < 1 or deadline < 1:
             raise ValueError("capacity and deadline must be positive")
         self.capacity = capacity

@@ -5,7 +5,15 @@ and Fig. 6): how much IPC is lost when L1 data caches and/or the shared L2
 are protected with 2D coding, i.e. when every write-type access issues an
 additional read to update the vertical parity.
 
-Modelling approach (and why it is adequate — see DESIGN.md):
+This scalar, per-cycle implementation is the **reference oracle** for
+the vectorized :mod:`repro.perf` subsystem that now backs the
+``fig5.performance`` / ``fig6.access_breakdown`` experiments:
+``repro.perf.simulate_matched`` replays this simulator's exact RNG
+stream through closed-form booking kernels and is property-tested
+bit-exact against it (``tests/test_perf_kernel.py``).
+
+Modelling approach (and why it is adequate — see ``DESIGN.md`` at the
+repository root, which also documents the vectorized closed forms):
 
 * Each core generates L1-D reads/writes/fill-evictions and L2
   reads/writes/fill-evictions per cycle following its workload profile,

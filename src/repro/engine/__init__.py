@@ -25,6 +25,7 @@ where the scalar path (:mod:`repro.array`) walks one bank bit by bit:
 
 from .aggregate import (
     CoverageEstimate,
+    MeanEstimate,
     StreamingAggregator,
     TrialCounts,
     wilson_interval,
@@ -53,6 +54,7 @@ from .runner import EngineResult, run_experiment
 
 __all__ = [
     "CoverageEstimate",
+    "MeanEstimate",
     "StreamingAggregator",
     "TrialCounts",
     "wilson_interval",

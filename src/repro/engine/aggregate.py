@@ -20,6 +20,7 @@ from .batch import VERDICT_CORRECTED, VERDICT_DETECTED, VERDICT_SILENT
 __all__ = [
     "TrialCounts",
     "CoverageEstimate",
+    "MeanEstimate",
     "StreamingAggregator",
     "wilson_interval",
 ]
@@ -153,6 +154,63 @@ class CoverageEstimate:
         return (
             f"{self.point:.4f} [{self.lower:.4f}, {self.upper:.4f}] "
             f"@{pct:.0f}% ({self.successes}/{self.n})"
+        )
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """Sample mean of replicated trials with a normal confidence interval.
+
+    The continuous counterpart of :class:`CoverageEstimate`: coverage
+    probabilities get Wilson intervals, continuous per-trial metrics
+    (IPC, accesses per 100 cycles) get ``mean ± z·s/√n`` from the
+    sample standard deviation.  With a single trial the spread is
+    unknowable and the interval degenerates to the point estimate.
+    """
+
+    n: int
+    mean: float
+    std: float
+    confidence: float
+    lower: float
+    upper: float
+
+    @classmethod
+    def from_samples(
+        cls, samples, confidence: float = 0.95
+    ) -> "MeanEstimate":
+        values = np.asarray(samples, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("need at least one sample")
+        mean = float(values.mean())
+        std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+        half = _z_score(confidence) * std / math.sqrt(values.size)
+        return cls(
+            n=int(values.size),
+            mean=mean,
+            std=std,
+            confidence=confidence,
+            lower=mean - half,
+            upper=mean + half,
+        )
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside the confidence interval?"""
+        return self.lower <= value <= self.upper
+
+    def overlaps(self, other: "MeanEstimate") -> bool:
+        """Do the two confidence intervals intersect?"""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pct = 100.0 * self.confidence
+        return (
+            f"{self.mean:.4f} ± {self.half_width:.4f} "
+            f"[{self.lower:.4f}, {self.upper:.4f}] @{pct:.0f}% (n={self.n})"
         )
 
 

@@ -1,0 +1,461 @@
+"""Sharded, cached driver for replicated performance simulations.
+
+Mirrors :mod:`repro.engine.runner` for the performance pipeline: the
+trial space of one (CMP, workload, protection) cell is divided into
+fixed-size RNG blocks, every block draws its arrivals and bank
+assignments from its own block-keyed lanes
+(:class:`repro.engine.rng.BlockStreams` — lane 0 burst chain, lane 1
+event counts, lane 2 bank assignment), blocks are fanned out over a
+``multiprocessing`` pool, and the per-trial outputs are concatenated in
+trial order.  Results are therefore **bit-identical for any worker
+count and chunk size** — parallelism is purely a throughput knob, the
+same contract the fault-injection engine makes.
+
+Cells that share a CMP/workload can be evaluated together through
+:func:`run_performance_grid`: all protections of the grid see the same
+draws (the paper's matched-pair design), and the booking work for
+shared L1/L2 protection modes is computed once.
+
+Per-protection results are memoized through the engine's
+:class:`~repro.engine.cache.ResultCache`, keyed via the project-wide
+:meth:`~repro.api.spec.ExperimentSpec.content_hash` convention over the
+full cell identity (CMP configuration, workload profile, protection,
+cycle count, trials, seed, block size, kernel version).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cmp.config import CmpConfig, ProtectionConfig
+from repro.engine.aggregate import MeanEstimate
+from repro.engine.cache import ResultCache, cache_key
+from repro.engine.rng import BlockStreams, iter_block_slices
+from repro.workloads.profiles import WorkloadProfile
+
+from .arrivals import concat_arrivals, sample_arrivals
+from .kernel import concat_bank_counts, evaluate_trials, sample_bank_accesses
+
+__all__ = [
+    "PERF_VERSION",
+    "DEFAULT_PERF_BLOCK_SIZE",
+    "PerfResult",
+    "PerfComparison",
+    "paired_loss_percent",
+    "run_performance",
+    "run_performance_grid",
+    "compare_performance",
+]
+
+#: Bump when the kernel's semantics change in ways that invalidate
+#: previously cached per-trial results.
+PERF_VERSION = 1
+
+#: Default trials per RNG block.  Performance trials are heavy (a full
+#: multi-thousand-cycle contention simulation each), so blocks are much
+#: smaller than the fault-injection engine's.
+DEFAULT_PERF_BLOCK_SIZE = 32
+
+#: Per-trial array fields of a result, in serialization order.
+_RESULT_FIELDS = (
+    "aggregate_ipc",
+    "l1_reads",
+    "l1_writes",
+    "l1_fill_evict",
+    "l1_extra_reads",
+    "l2_reads",
+    "l2_writes",
+    "l2_fill_evict",
+    "l2_extra_reads",
+    "l1_port_utilization",
+    "l2_bank_utilization",
+    "port_steals",
+    "forced_steals",
+)
+
+_BURST_LANE, _EVENT_LANE, _BANK_LANE = 0, 1, 2
+
+
+def _jsonable(value):
+    """Recursively convert a dataclass/enum tree into JSON-pure shapes."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def cell_key(
+    cmp_cfg: CmpConfig,
+    profile: WorkloadProfile,
+    protection: ProtectionConfig,
+    n_cycles: int,
+) -> dict:
+    """JSON-pure identity of one performance-simulation cell."""
+    return {
+        "cmp": _jsonable(cmp_cfg),
+        "workload": _jsonable(profile),
+        "protection": _jsonable(protection),
+        "n_cycles": n_cycles,
+    }
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """Replicated-trial outcome for one (CMP, workload, protection) cell.
+
+    All array fields hold one value per trial, in trial order
+    (independent of scheduling).  Access counts are raw totals over all
+    cores and cycles; :meth:`breakdown_estimates` converts them to the
+    paper's accesses-per-100-cycles units.
+    """
+
+    cmp_name: str
+    workload: str
+    protection_label: str
+    n_cycles: int
+    n_trials: int
+    seed: int
+    block_size: int
+    aggregate_ipc: np.ndarray
+    l1_reads: np.ndarray
+    l1_writes: np.ndarray
+    l1_fill_evict: np.ndarray
+    l1_extra_reads: np.ndarray
+    l2_reads: np.ndarray
+    l2_writes: np.ndarray
+    l2_fill_evict: np.ndarray
+    l2_extra_reads: np.ndarray
+    l1_port_utilization: np.ndarray
+    l2_bank_utilization: np.ndarray
+    port_steals: np.ndarray
+    forced_steals: np.ndarray
+    elapsed_seconds: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.n_trials / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def ipc_estimate(self, confidence: float = 0.95) -> MeanEstimate:
+        """Aggregate IPC across trials with a normal interval."""
+        return MeanEstimate.from_samples(self.aggregate_ipc, confidence)
+
+    def breakdown_estimates(
+        self, level: str, confidence: float = 0.95
+    ) -> dict:
+        """Fig. 6-style per-component estimates, accesses per 100 cycles.
+
+        ``level`` is ``"l1"`` or ``"l2"``; keys match
+        :meth:`repro.cmp.stats.CacheAccessBreakdown.as_dict` (the
+        instruction-read component is identically zero, as in the
+        scalar model's reporting).
+        """
+        if level not in ("l1", "l2"):
+            raise ValueError("level must be 'l1' or 'l2'")
+        scale = 100.0 / self.n_cycles
+        components = {
+            "Read: Inst": np.zeros(self.n_trials),
+            "Read: Data": getattr(self, f"{level}_reads") * scale,
+            "Write": getattr(self, f"{level}_writes") * scale,
+            "Fill/Evict": getattr(self, f"{level}_fill_evict") * scale,
+            "Extra Read for 2D Coding": getattr(self, f"{level}_extra_reads") * scale,
+        }
+        return {
+            name: MeanEstimate.from_samples(values, confidence)
+            for name, values in components.items()
+        }
+
+
+def paired_loss_percent(
+    baseline_ipc: np.ndarray, protected_ipc: np.ndarray
+) -> np.ndarray:
+    """Per-trial IPC loss in %, safe on fully stalled baselines.
+
+    Mirrors the scalar :class:`repro.cmp.stats.PerformanceComparison`
+    guard: a trial whose baseline IPC is zero (every core pinned at the
+    stall cap) reports zero loss rather than a NaN from 0/0.
+    """
+    baseline_ipc = np.asarray(baseline_ipc, dtype=float)
+    protected_ipc = np.asarray(protected_ipc, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        loss = (1.0 - protected_ipc / baseline_ipc) * 100.0
+    return np.where(baseline_ipc > 0.0, loss, 0.0)
+
+
+@dataclass(frozen=True)
+class PerfComparison:
+    """Matched-pair baseline-vs-protected comparison (one Fig. 5 bar).
+
+    Both members ran on identical draws, so the per-trial loss is a
+    paired difference — the variance-reduction trick the scalar path
+    gets from reusing one seed, now with honest replication on top.
+    """
+
+    baseline: PerfResult
+    protected: PerfResult
+
+    @property
+    def loss_percent_per_trial(self) -> np.ndarray:
+        return paired_loss_percent(
+            self.baseline.aggregate_ipc, self.protected.aggregate_ipc
+        )
+
+    @property
+    def ipc_loss_percent(self) -> float:
+        """Mean IPC loss in % (the Fig. 5 y-axis), clipped at zero."""
+        return max(0.0, float(self.loss_percent_per_trial.mean()))
+
+    def loss_estimate(self, confidence: float = 0.95) -> MeanEstimate:
+        return MeanEstimate.from_samples(self.loss_percent_per_trial, confidence)
+
+
+# ----------------------------------------------------------------------
+# Sharded execution
+# ----------------------------------------------------------------------
+
+#: Upper bound on trials x cores x cycles per kernel invocation: blocks
+#: are *sampled* independently (that is the invariance contract) but
+#: *evaluated* together in groups up to this budget, so the per-cycle
+#: steal recursion and the bank bookkeeping amortize over many blocks.
+_EVAL_GROUP_ELEMENTS = 8_000_000
+
+
+def _evaluation_groups(pieces, group_trials: int):
+    group: list = []
+    covered = 0
+    for piece in pieces:
+        group.append(piece)
+        covered += piece.count
+        if covered >= group_trials:
+            yield group
+            group, covered = [], 0
+    if group:
+        yield group
+
+
+def _run_trial_range(
+    cmp_cfg: CmpConfig,
+    profile: WorkloadProfile,
+    protections: dict,
+    n_cycles: int,
+    seed: int,
+    block_size: int,
+    first_trial: int,
+    last_trial: int,
+) -> dict:
+    """Evaluate trials ``[first_trial, last_trial)`` block by block.
+
+    Draws always cover the whole block and are sliced to the requested
+    trials, so any partition of the trial space sees identical
+    randomness per trial; sliced blocks are then concatenated into
+    evaluation groups purely for throughput.
+    """
+    with_extras = any(p.protect_l2 for p in protections.values())
+    per_label: dict[str, list] = {label: [] for label in protections}
+    pieces = iter_block_slices(first_trial, last_trial, block_size)
+    per_trial = cmp_cfg.n_cores * n_cycles
+    group_trials = max(block_size, _EVAL_GROUP_ELEMENTS // max(per_trial, 1))
+    for group in _evaluation_groups(pieces, group_trials):
+        arrival_parts = []
+        bank_parts = []
+        offsets = []
+        offset = 0
+        for piece in group:
+            streams = BlockStreams(seed, piece.block)
+            arrivals = sample_arrivals(
+                streams.lane(_BURST_LANE),
+                streams.lane(_EVENT_LANE),
+                block_size,
+                cmp_cfg,
+                profile,
+                n_cycles,
+            )
+            bank_counts = sample_bank_accesses(
+                streams.lane(_BANK_LANE), arrivals, cmp_cfg.l2.n_banks, with_extras
+            )
+            arrival_parts.append(arrivals.sliced(piece.start, piece.stop))
+            bank_parts.append(bank_counts.sliced(piece.start, piece.stop))
+            offsets.append(offset)
+            offset += piece.count
+        outputs = evaluate_trials(
+            concat_arrivals(arrival_parts),
+            concat_bank_counts(bank_parts, offsets),
+            cmp_cfg,
+            profile,
+            protections,
+            n_cycles,
+        )
+        for label, fields in outputs.items():
+            per_label[label].append(fields)
+    return {
+        label: {
+            name: np.concatenate([chunk[name] for chunk in chunks])
+            for name in _RESULT_FIELDS
+        }
+        for label, chunks in per_label.items()
+    }
+
+
+def _worker(payload: tuple) -> dict:
+    return _run_trial_range(*payload)
+
+
+def _chunk_ranges(
+    n_trials: int, block_size: int, chunk_blocks: "int | None", n_workers: int
+) -> list:
+    total_blocks = -(-n_trials // block_size)
+    if chunk_blocks is None:
+        # Whole-run chunks in-process; one chunk per worker otherwise.
+        # Chunking cannot change results, so this is purely a throughput
+        # choice: bigger chunks amortize the per-call kernel overhead.
+        chunk_blocks = max(1, -(-total_blocks // n_workers))
+    ranges = []
+    for first_block in range(0, total_blocks, chunk_blocks):
+        first = first_block * block_size
+        last = min((first_block + chunk_blocks) * block_size, n_trials)
+        ranges.append((first, last))
+    return ranges
+
+
+def _cache_params(
+    cmp_cfg, profile, protection, n_cycles, n_trials, seed, block_size
+) -> dict:
+    return {
+        "perf_version": PERF_VERSION,
+        "cell": cell_key(cmp_cfg, profile, protection, n_cycles),
+        "n_trials": n_trials,
+        "seed": seed,
+        "block_size": block_size,
+    }
+
+
+def run_performance_grid(
+    cmp_cfg: CmpConfig,
+    profile: WorkloadProfile,
+    protections: dict,
+    *,
+    n_cycles: int,
+    n_trials: int,
+    seed: int,
+    n_workers: int = 1,
+    block_size: int = DEFAULT_PERF_BLOCK_SIZE,
+    chunk_blocks: "int | None" = None,
+    cache: "ResultCache | None" = None,
+) -> dict:
+    """Run every protection of a grid on shared draws; returns
+    ``{label: PerfResult}``.
+
+    Cached labels are served from the result cache; the remaining ones
+    are computed together in one pass over the trial space (shared
+    arrivals, shared bank draws, shared booking work per L1/L2 mode).
+    ``chunk_blocks`` (blocks per work item) defaults to an even split
+    over the workers; like the worker count it cannot change results.
+    """
+    if n_cycles < 100:
+        raise ValueError("n_cycles must be at least 100")
+    if n_trials < 1:
+        raise ValueError("n_trials must be positive")
+    if n_workers < 1 or block_size < 1:
+        raise ValueError("workers and block_size must be positive")
+    if chunk_blocks is not None and chunk_blocks < 1:
+        raise ValueError("chunk_blocks must be positive")
+    if not protections:
+        raise ValueError("need at least one protection configuration")
+
+    def build(label: str, fields: dict, elapsed: float, cached: bool) -> PerfResult:
+        return PerfResult(
+            cmp_name=cmp_cfg.name,
+            workload=profile.name,
+            protection_label=protections[label].label,
+            n_cycles=n_cycles,
+            n_trials=n_trials,
+            seed=seed,
+            block_size=block_size,
+            elapsed_seconds=elapsed,
+            from_cache=cached,
+            **{name: np.asarray(fields[name]) for name in _RESULT_FIELDS},
+        )
+
+    results: dict[str, PerfResult] = {}
+    keys: dict[str, str] = {}
+    missing: dict[str, ProtectionConfig] = {}
+    for label, protection in protections.items():
+        params = _cache_params(
+            cmp_cfg, profile, protection, n_cycles, n_trials, seed, block_size
+        )
+        keys[label] = cache_key(params)
+        payload = cache.load(keys[label]) if cache is not None else None
+        if payload is not None and all(name in payload for name in _RESULT_FIELDS):
+            results[label] = build(label, payload, 0.0, cached=True)
+        else:
+            missing[label] = protection
+
+    if missing:
+        started = time.perf_counter()
+        ranges = _chunk_ranges(n_trials, block_size, chunk_blocks, n_workers)
+        payloads = [
+            (cmp_cfg, profile, missing, n_cycles, seed, block_size, first, last)
+            for first, last in ranges
+        ]
+        if n_workers == 1 or len(payloads) <= 1:
+            outcomes = [_worker(p) for p in payloads]
+        else:
+            with multiprocessing.get_context().Pool(processes=n_workers) as pool:
+                outcomes = pool.map(_worker, payloads)
+        elapsed = time.perf_counter() - started
+        for label in missing:
+            fields = {
+                name: np.concatenate([chunk[label][name] for chunk in outcomes])
+                for name in _RESULT_FIELDS
+            }
+            results[label] = build(label, fields, elapsed, cached=False)
+            if cache is not None:
+                cache.store(
+                    keys[label],
+                    {name: fields[name] for name in _RESULT_FIELDS},
+                    _cache_params(
+                        cmp_cfg, profile, missing[label],
+                        n_cycles, n_trials, seed, block_size,
+                    ),
+                )
+    return {label: results[label] for label in protections}
+
+
+def run_performance(
+    cmp_cfg: CmpConfig,
+    profile: WorkloadProfile,
+    protection: ProtectionConfig,
+    **kwargs,
+) -> PerfResult:
+    """Replicated trials for a single protection configuration."""
+    return run_performance_grid(cmp_cfg, profile, {"cell": protection}, **kwargs)[
+        "cell"
+    ]
+
+
+def compare_performance(
+    cmp_cfg: CmpConfig,
+    profile: WorkloadProfile,
+    protection: ProtectionConfig,
+    **kwargs,
+) -> PerfComparison:
+    """Matched-pair baseline-vs-protected comparison on shared draws."""
+    grid = run_performance_grid(
+        cmp_cfg,
+        profile,
+        {"baseline": ProtectionConfig(label="baseline"), "protected": protection},
+        **kwargs,
+    )
+    return PerfComparison(baseline=grid["baseline"], protected=grid["protected"])

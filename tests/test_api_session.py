@@ -36,6 +36,12 @@ _FAST_SPECS = {
         params={"cluster_sizes": [1, 4], "degrees": [2], "rows": 32,
                 "vertical_groups": 8},
     ),
+    "sweep.perf_sensitivity": ExperimentSpec(
+        "sweep.perf_sensitivity",
+        trials=4,
+        params={"n_cycles": 400, "store_queue": [2, 64], "l1_ports": [2],
+                "burstiness": [4.0]},
+    ),
     "sweep.scheme_cost": ExperimentSpec("sweep.scheme_cost", params={"cache": "l2"}),
 }
 
@@ -134,11 +140,13 @@ class TestSession:
             Session().run(ExperimentSpec("fig1.storage", seed=123))
         with pytest.raises(SpecError, match="confidence"):
             Session().run(ExperimentSpec("fig7.schemes", confidence=0.99))
-        # Seeded analytical simulations (Figs. 5/6) do take a seed.
+        # The perf-backed figures are Monte Carlo and take every
+        # statistical knob.
         result = Session().run(
             ExperimentSpec("fig5.performance", seed=9, params={"n_cycles": 300})
         )
         assert result.spec.seed == 9
+        assert result.backend == "monte_carlo"
 
     def test_non_mapping_params_are_rejected(self):
         from repro.api import SpecError
@@ -237,16 +245,14 @@ class TestLegacyShims:
     def test_fig5_performance(self):
         from repro.core import fig5_performance
 
-        assert fig5_performance(n_cycles=600, seed=7) == Session().run(
-            _FAST_SPECS["fig5.performance"]
-        ).data_dict()
+        data = Session().run(_FAST_SPECS["fig5.performance"]).data_dict()
+        assert fig5_performance(n_cycles=600, seed=7) == data["ipc_loss"]
 
     def test_fig6_access_breakdown(self):
         from repro.core import fig6_access_breakdown
 
-        assert fig6_access_breakdown(n_cycles=600, seed=7) == Session().run(
-            _FAST_SPECS["fig6.access_breakdown"]
-        ).data_dict()
+        data = Session().run(_FAST_SPECS["fig6.access_breakdown"]).data_dict()
+        assert fig6_access_breakdown(n_cycles=600, seed=7) == data["breakdowns"]
 
     def test_fig7_scheme_comparison(self):
         from repro.core import fig7_scheme_comparison

@@ -1,0 +1,138 @@
+"""Direct unit tests for the scalar contention schedulers.
+
+:class:`PortScheduler`, :class:`BankScheduler` and :class:`StealQueue`
+are the reference semantics the vectorized ``repro.perf`` kernels are
+property-tested against (``tests/test_perf_kernel.py``), so their exact
+booking behaviour — not just the aggregate outcomes the simulator tests
+cover — is pinned down here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmp import BankScheduler, PortScheduler, StealQueue
+
+
+class TestPortScheduler:
+    def test_rejects_nonpositive_ports(self):
+        with pytest.raises(ValueError):
+            PortScheduler(0)
+
+    def test_books_earliest_slot_at_or_after_arrival(self):
+        ports = PortScheduler(1)
+        assert ports.schedule(0) == 0   # slot 0
+        assert ports.schedule(0) == 1   # slot 1
+        assert ports.schedule(0) == 2   # slot 2
+        # Arriving later than the backlog: no delay, slot 5.
+        assert ports.schedule(5) == 0
+
+    def test_two_ports_drain_two_per_cycle(self):
+        ports = PortScheduler(2)
+        delays = [ports.schedule(0) for _ in range(6)]
+        assert delays == [0, 0, 1, 1, 2, 2]
+
+    def test_stale_ports_are_free_again(self):
+        ports = PortScheduler(2)
+        ports.schedule(0)
+        ports.schedule(0)
+        assert ports.idle_slots(0) == 0
+        assert ports.idle_slots(1) == 2
+
+    def test_idle_slots_counts_unbooked_ports(self):
+        ports = PortScheduler(3)
+        ports.schedule(4)
+        assert ports.idle_slots(4) == 2
+
+    def test_utilization(self):
+        ports = PortScheduler(2)
+        for _ in range(5):
+            ports.schedule(0)
+        assert ports.busy_slots == 5
+        assert ports.utilization(10) == 5 / 20
+        assert ports.utilization(0) == 0.0
+
+
+class TestBankScheduler:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BankScheduler(0, 1)
+        with pytest.raises(ValueError):
+            BankScheduler(4, 0)
+
+    def test_bank_stays_busy_for_busy_cycles(self):
+        banks = BankScheduler(2, busy_cycles=4)
+        assert banks.schedule(0, 0) == 0   # busy until cycle 4
+        assert banks.schedule(1, 0) == 3   # queues behind
+        assert banks.schedule(1, 1) == 0   # other bank independent
+        assert banks.schedule(9, 0) == 0   # idle again by cycle 8
+
+    def test_same_cycle_accesses_queue_in_order(self):
+        banks = BankScheduler(1, busy_cycles=2)
+        assert [banks.schedule(0, 0) for _ in range(3)] == [0, 2, 4]
+
+    def test_out_of_range_bank_rejected(self):
+        banks = BankScheduler(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            banks.schedule(0, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            banks.schedule(0, -1)
+
+    def test_utilization_counts_busy_cycles_per_access(self):
+        banks = BankScheduler(2, busy_cycles=3)
+        banks.schedule(0, 0)
+        banks.schedule(0, 1)
+        assert banks.busy_slots == 6
+        assert banks.utilization(3) == 6 / 6
+
+
+class TestStealQueue:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StealQueue(capacity=0)
+        with pytest.raises(ValueError):
+            StealQueue(capacity=4, deadline=0)
+
+    def test_push_until_capacity_then_forced(self):
+        queue = StealQueue(capacity=2, deadline=10)
+        assert queue.push(0)
+        assert queue.push(0)
+        assert not queue.push(0)
+        assert queue.pending == 2
+        assert queue.forced_issues == 1
+
+    def test_drain_is_fifo_and_bounded_by_idle_slots(self):
+        queue = StealQueue(capacity=8, deadline=10)
+        for cycle in (0, 1, 2):
+            queue.push(cycle)
+        assert queue.drain(3, idle_slots=2) == 2
+        assert queue.pending == 1
+        assert queue.stolen_issues == 2
+        # The survivor is the youngest entry (pushed at cycle 2): it
+        # expires at 2 + deadline, not earlier.
+        assert queue.take_expired(11) == 0
+        assert queue.take_expired(12) == 1
+
+    def test_deadline_boundary_is_inclusive(self):
+        queue = StealQueue(capacity=4, deadline=3)
+        queue.push(5)                      # due at cycle 8
+        assert queue.take_expired(7) == 0
+        assert queue.take_expired(8) == 1
+        assert queue.forced_issues == 1
+        assert queue.pending == 0
+
+    def test_drained_entries_never_expire(self):
+        queue = StealQueue(capacity=4, deadline=2)
+        queue.push(0)
+        queue.drain(1, idle_slots=4)
+        assert queue.take_expired(2) == 0
+        assert queue.stolen_issues == 1
+        assert queue.forced_issues == 0
+
+    def test_expiry_pops_oldest_first(self):
+        queue = StealQueue(capacity=4, deadline=4)
+        queue.push(0)
+        queue.push(2)
+        assert queue.take_expired(4) == 1   # only the cycle-0 entry
+        assert queue.pending == 1
+        assert queue.take_expired(6) == 1
