@@ -309,6 +309,7 @@ def _fig3_coverage_mc(ctx):
             n_workers=ctx.session.workers,
             cache=ctx.session.cache,
             confidence=ctx.confidence,
+            executor=ctx.session.executor,
         )
         estimates[key] = _estimate_payload(estimate)
     keys = tuple(estimates)
@@ -348,6 +349,7 @@ def _run_perf_grid(ctx, cmp_cfg, profile, protections, n_cycles):
         seed=ctx.seed,
         n_workers=ctx.session.workers,
         cache=ctx.session.cache,
+        executor=ctx.session.executor,
     )
 
 
@@ -936,6 +938,7 @@ def _sweep_perf_sensitivity(ctx):
                     seed=ctx.seed,
                     n_workers=ctx.session.workers,
                     cache=ctx.session.cache,
+                    executor=ctx.session.executor,
                 )
                 per_trial = paired_loss_percent(
                     results["baseline"].aggregate_ipc,

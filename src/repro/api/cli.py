@@ -20,7 +20,9 @@ Two subcommands:
             --scenario burst_row --output fig3_bursts.csv
 
 Exit status: 0 on success, 2 on usage errors (including unknown
-experiment names and unknown scenarios), 1 on execution failures.
+experiment names, unknown scenarios and non-positive ``--workers``
+counts), 1 on execution failures.  ``--workers N`` fans Monte Carlo
+runs out over the session's persistent worker pool.
 """
 
 from __future__ import annotations
@@ -66,7 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--confidence", type=float, default=0.95, help="Wilson CI level"
     )
     runner.add_argument(
-        "--workers", type=int, default=1, help="engine worker processes"
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the session's persistent executor "
+        "(default: 1, in-process)",
     )
     runner.add_argument(
         "--cache-dir",
@@ -179,6 +186,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
 
     try:
         params = _parse_params(args.param)
+        if args.workers < 1:
+            raise SpecError(
+                f"--workers must be a positive process count, got {args.workers}"
+            )
         if args.scenario is not None:
             get_scenario_class(args.scenario)  # unknown names are usage errors
             if params.get("scenario", args.scenario) != args.scenario:
@@ -195,8 +206,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             confidence=args.confidence,
             params=params,
         )
-        session = Session(workers=args.workers, cache_dir=args.cache_dir)
-        result = session.run(spec)
+        with Session(workers=args.workers, cache_dir=args.cache_dir) as session:
+            result = session.run(spec)
     except (UnknownExperimentError, UnknownScenarioError, SpecError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -101,6 +101,7 @@ class ExperimentContext:
             seed,
             n_workers=self.session.workers,
             cache=self.session.cache,
+            executor=self.session.executor,
             collect_verdicts=collect_verdicts,
         )
 
@@ -138,6 +139,18 @@ class Session:
         (``{"event": "start"|"finish", "experiment", "backend",
         "spec_hash", "elapsed"}``) around every run; a failed run's
         ``finish`` event carries an additional ``error`` field.
+    mp_context:
+        Explicit multiprocessing start method for the session's
+        executor ("fork", "spawn", ... or a context object); the
+        default resolves per
+        :func:`repro.engine.executor.resolve_mp_context`.
+
+    The session owns one persistent
+    :class:`~repro.engine.executor.SharedExecutor`: every Monte Carlo
+    run of its life — fault-injection and performance cells alike —
+    reuses the same warm worker pool instead of re-forking per call.
+    Sessions are context managers; :meth:`close` (or ``with``-exit)
+    tears the pool down.
     """
 
     def __init__(
@@ -146,6 +159,7 @@ class Session:
         workers: int = 1,
         cache_dir: "str | Path | None" = None,
         progress: "Callable[[dict], None] | None" = None,
+        mp_context=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -153,6 +167,8 @@ class Session:
         self.progress = progress
         self._cache = None
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._mp_context = mp_context
+        self._executor = None
 
     @property
     def cache(self):
@@ -162,6 +178,31 @@ class Session:
 
             self._cache = ResultCache(self._cache_dir)
         return self._cache
+
+    @property
+    def executor(self):
+        """The session's persistent :class:`SharedExecutor` (lazily
+        built; shared by every engine and performance run it drives)."""
+        if self._executor is None:
+            from repro.engine import SharedExecutor
+
+            self._executor = SharedExecutor(
+                workers=self.workers, mp_context=self._mp_context
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; a later run lazily
+        rebuilds it)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _emit(self, payload: dict) -> None:

@@ -115,6 +115,7 @@ def monte_carlo_coverage(
     n_workers: int = 1,
     cache: "ResultCache | None" = None,
     confidence: float = 0.95,
+    executor=None,
 ) -> "CoverageEstimate":
     """Monte Carlo estimate of a scheme's error coverage (engine-backed).
 
@@ -148,6 +149,7 @@ def monte_carlo_coverage(
         seed,
         n_workers=n_workers,
         cache=cache,
+        executor=executor,
         collect_verdicts=False,
     )
     return result.estimate(confidence)

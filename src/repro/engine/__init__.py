@@ -13,8 +13,16 @@ where the scalar path (:mod:`repro.array`) walks one bank bit by bit:
   Mask *production* lives in the pluggable scenario subsystem
   (:mod:`repro.scenarios`); the historical model names exported here
   are aliases of its built-ins.
-* :mod:`repro.engine.runner` — a ``multiprocessing``-sharded executor
-  that chunks trials across workers and merges results.
+* :mod:`repro.engine.packed` — bit-packed ``uint64`` decode kernels
+  (codeword-bit-major per interleave slot; masked-popcount parity and
+  SECDED syndromes) and the sparse-trial dispatch that decodes only
+  rows carrying errors — bit-identical to the dense path.
+* :mod:`repro.engine.executor` — :class:`SharedExecutor`, the
+  persistent, explicit-start-method worker pool the runner and the
+  performance backend share (a :class:`repro.api.Session` owns one for
+  its life).
+* :mod:`repro.engine.runner` — the sharded driver that chunks trials
+  across the executor and merges results.
 * :mod:`repro.engine.aggregate` — streaming verdict tallies with Wilson
   confidence intervals.
 * :mod:`repro.engine.cache` — an on-disk result cache keyed by the full
@@ -42,7 +50,16 @@ from .batch import (
     run_recovery_batch,
 )
 from .cache import ResultCache, cache_key
+from .executor import SharedExecutor, resolve_mp_context
 from .oracle import scalar_trial_verdict, scalar_verdicts
+from .packed import (
+    PackedParityDecoder,
+    PackedSecdedDecoder,
+    make_packed_decoder,
+    pack_rows,
+    run_recovery_batch_sparse,
+    unpack_rows,
+)
 from .rng import (
     DEFAULT_BLOCK_SIZE,
     BlockStreams,
@@ -69,6 +86,14 @@ __all__ = [
     "run_recovery_batch",
     "ResultCache",
     "cache_key",
+    "SharedExecutor",
+    "resolve_mp_context",
+    "PackedParityDecoder",
+    "PackedSecdedDecoder",
+    "make_packed_decoder",
+    "pack_rows",
+    "run_recovery_batch_sparse",
+    "unpack_rows",
     "scalar_trial_verdict",
     "scalar_verdicts",
     "DEFAULT_BLOCK_SIZE",

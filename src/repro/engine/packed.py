@@ -1,0 +1,355 @@
+"""Bit-packed decode kernels and the sparse-trial dispatch path.
+
+The dense decoders in :mod:`repro.engine.batch` spend one full byte of
+memory traffic per array *bit*: a ``(trials, rows, row_bits)`` mask is a
+``uint8`` tensor, so every XOR reduction and parity fold moves 8x more
+data than the information it processes.  This module removes that waste
+in two independent, composable steps.
+
+**Bit-packed words.**  Row masks are repacked *codeword-bit-major per
+interleave slot*: the ``codeword_bits`` cells of one interleave slot's
+codeword become the low bits of ``ceil(codeword_bits / 64)`` ``uint64``
+words (:func:`pack_rows`).  Each bitwise operation then touches 64
+codeword-bit lanes at once, and the decode primitives collapse to
+masked popcounts:
+
+* an interleaved-parity group's syndrome bit is
+  ``popcount(word & group_mask) & 1`` (:class:`PackedParityDecoder`) —
+  one mask per parity group, built once from ``code.group_of``, which
+  also makes modular, contiguous *and* generic group maps take the
+  same code path;
+* SECDED's overall parity is the popcount of the whole packed codeword
+  (``popcount(words) & 1``), and each Hamming syndrome bit is a masked
+  popcount over the probed parity-check columns
+  (:class:`PackedSecdedDecoder`, sharing the dense decoder's lookup
+  table bit for bit).
+
+**Sparse-trial dispatch.**  At the paper's Fig. 3 / Fig. 8 error rates
+almost every row of almost every trial is clean, and the linear codes
+decode an all-zero row as clean with no corrections.
+:func:`run_recovery_batch_sparse` therefore consumes a
+:class:`~repro.scenarios.sparse.SparseRowBatch` — only the rows with
+any error, gathered up front (``np.nonzero`` on per-row any-bits) —
+and replays the dense scrub / row-reconstruction / classification
+sequence of :func:`repro.engine.batch.run_recovery_batch` over those
+rows alone.  Clean rows contribute nothing to any step (their decode
+is clean, their content mask is zero, so they drop out of the vertical
+group syndromes), which is why the sparse verdicts are **bit-identical**
+to the dense ones by construction, not just by test.
+
+Packing uses ``np.packbits(bitorder="little")`` for both data and masks,
+so the word layout is endian-consistent on any host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.hamming import SecdedCode
+from repro.coding.parity import InterleavedParityCode
+from repro.scenarios.sparse import SparseRowBatch
+
+from .batch import (
+    VERDICT_DETECTED,
+    VERDICT_SILENT,
+    DecodeBatch,
+    EngineSpec,
+    SecdedVectorDecoder,
+    VectorDecoder,
+    make_decoder,
+)
+
+__all__ = [
+    "pack_rows",
+    "unpack_rows",
+    "popcount_words",
+    "PackedParityDecoder",
+    "PackedSecdedDecoder",
+    "make_packed_decoder",
+    "run_recovery_batch_sparse",
+    "SPARSE_DISPATCH_BREAK_EVEN",
+]
+
+#: Dirty-row fraction above which the sparse path stops paying: per
+#: dirty row it adds a gather, a scatter and index bookkeeping worth
+#: roughly two dense row-decodes, so the crossover sits near 1/3 dirty;
+#: 0.25 keeps margin (see DESIGN.md, "Sparse dispatch break-even").
+SPARSE_DISPATCH_BREAK_EVEN = 0.25
+
+_WORD_BITS = 64
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a trailing bit axis into little-endian ``uint64`` words."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    n = bits.shape[-1]
+    pad = -n % _WORD_BITS
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    return packed.view(np.dtype("<u8"))
+
+
+def _unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits`, truncated to ``n_bits``."""
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n_bits]
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Total set bits over the trailing word axis."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _BYTE_POPCOUNT = np.array(
+        [bin(v).count("1") for v in range(256)], dtype=np.uint8
+    )
+
+    def popcount_words(words: np.ndarray) -> np.ndarray:
+        """Total set bits over the trailing word axis."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def pack_rows(
+    row_masks: np.ndarray, codeword_bits: int, interleave_degree: int
+) -> np.ndarray:
+    """Pack ``(..., row_bits)`` masks into per-slot codeword words.
+
+    Input rows use the physical bank layout (cell ``b * D + s`` is
+    codeword bit ``b`` of interleave slot ``s``); the output has shape
+    ``(..., D, ceil(codeword_bits / 64))`` with codeword bit ``b`` of
+    slot ``s`` at bit ``b % 64`` of word ``b // 64`` — codeword-bit-major
+    per interleave slot.
+    """
+    w = np.asarray(row_masks, dtype=np.uint8)
+    b, d = codeword_bits, interleave_degree
+    if w.shape[-1] != b * d:
+        raise ValueError(f"expected rows of {b * d} bits, got {w.shape[-1]}")
+    lead = w.shape[:-1]
+    per_slot = np.moveaxis(w.reshape(*lead, b, d), -1, -2)  # (..., D, B)
+    return _pack_bits(per_slot)
+
+
+def unpack_rows(
+    packed: np.ndarray, codeword_bits: int, interleave_degree: int
+) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: back to ``(..., row_bits)`` uint8."""
+    b, d = codeword_bits, interleave_degree
+    bits = _unpack_bits(packed, b)  # (..., D, B)
+    lead = bits.shape[:-2]
+    return np.moveaxis(bits, -1, -2).reshape(*lead, b * d)
+
+
+# ----------------------------------------------------------------------
+# packed decoders
+# ----------------------------------------------------------------------
+
+class PackedParityDecoder(VectorDecoder):
+    """Interleaved-parity decode over packed codeword words.
+
+    One precomputed ``uint64`` bit mask per parity group selects the
+    group's data bits plus its check bit; the group syndrome is the
+    masked popcount's parity.  Because the masks come straight from
+    ``code.group_of``, EDCn, byte parity and arbitrary (generic) group
+    maps are all the same two-instruction kernel.  Verdict-compatible
+    with :class:`repro.engine.batch.ParityVectorDecoder` bit for bit.
+    """
+
+    def __init__(self, code: InterleavedParityCode, interleave_degree: int):
+        super().__init__(code, interleave_degree)
+        n = code.interleave
+        membership = np.zeros((n, self.codeword_bits), dtype=np.uint8)
+        for bit in range(code.data_bits):
+            membership[code.group_of(bit), bit] = 1
+        for group in range(n):
+            membership[group, code.data_bits + group] = 1
+        self._group_masks = _pack_bits(membership)  # (n_groups, words)
+        self._n_groups = n
+
+    def decode_packed(self, packed: np.ndarray) -> DecodeBatch:
+        """Decode pre-packed ``(..., D, words)`` rows."""
+        faulty = np.zeros(packed.shape[:-1], dtype=bool)
+        for group in range(self._n_groups):
+            syndrome = popcount_words(packed & self._group_masks[group]) & 1
+            faulty |= syndrome.astype(bool)
+        return DecodeBatch(faulty=faulty, corrections=None)
+
+    def decode(self, row_masks: np.ndarray) -> DecodeBatch:
+        w = self._check_shape(row_masks)
+        return self.decode_packed(
+            pack_rows(w, self.codeword_bits, self.interleave_degree)
+        )
+
+
+class PackedSecdedDecoder(VectorDecoder):
+    """Extended-Hamming SECDED over packed codeword words.
+
+    Wraps a dense :class:`SecdedVectorDecoder` and reuses its probed
+    syndrome structure and correction lookup table, so classification
+    and corrections are bit-identical by construction.  The kernels
+    differ: the overall parity is one popcount of the packed codeword,
+    and each Hamming syndrome bit is a masked popcount.
+    """
+
+    def __init__(self, dense: SecdedVectorDecoder):
+        super().__init__(dense.code, dense.interleave_degree)
+        self._m = dense._m
+        self._lut = dense._lut
+        membership = np.zeros((self._m, self.codeword_bits), dtype=np.uint8)
+        for i, bits in enumerate(dense._syndrome_bits):
+            membership[i, bits] = 1
+        self._syndrome_masks = _pack_bits(membership)  # (m, words)
+
+    def decode_packed(self, packed: np.ndarray) -> DecodeBatch:
+        """Decode pre-packed ``(..., D, words)`` rows."""
+        lead = packed.shape[:-2]
+        d, b = self.interleave_degree, self.codeword_bits
+        overall = popcount_words(packed) & 1  # (..., D)
+        syndrome = np.zeros(packed.shape[:-1], dtype=np.int64)
+        for i in range(self._m):
+            bit = popcount_words(packed & self._syndrome_masks[i]) & 1
+            syndrome |= bit << i
+        target = self._lut[syndrome]  # (..., D)
+        correctable = (overall == 1) & (target >= 0)
+        faulty = ((overall == 0) & (syndrome != 0)) | ((overall == 1) & (target < 0))
+        corrections = np.zeros((*lead, b, d), dtype=np.uint8)
+        np.put_along_axis(
+            corrections,
+            np.maximum(target, 0)[..., None, :],
+            correctable[..., None, :].astype(np.uint8),
+            axis=-2,
+        )
+        return DecodeBatch(
+            faulty=faulty, corrections=corrections.reshape(*lead, self.row_bits)
+        )
+
+    def decode(self, row_masks: np.ndarray) -> DecodeBatch:
+        w = self._check_shape(row_masks)
+        return self.decode_packed(
+            pack_rows(w, self.codeword_bits, self.interleave_degree)
+        )
+
+
+def make_packed_decoder(spec: EngineSpec) -> VectorDecoder:
+    """Packed decoder for a spec, mirroring :func:`make_decoder`."""
+    dense = make_decoder(spec)
+    if isinstance(dense, SecdedVectorDecoder):
+        return PackedSecdedDecoder(dense)
+    return PackedParityDecoder(dense.code, spec.interleave_degree)
+
+
+# ----------------------------------------------------------------------
+# sparse-trial dispatch
+# ----------------------------------------------------------------------
+
+def run_recovery_batch_sparse(
+    spec: EngineSpec,
+    batch: SparseRowBatch,
+    decoder: "VectorDecoder | None" = None,
+) -> np.ndarray:
+    """Sparse twin of :func:`repro.engine.batch.run_recovery_batch`.
+
+    Consumes the dirty rows only and returns the identical
+    ``(n_trials,)`` verdict array the dense path would produce on
+    ``batch.densify()``.  ``decoder`` defaults to the packed decoder;
+    any decoder with dense-path semantics (e.g. for property tests) is
+    accepted.
+    """
+    if batch.array_rows != spec.rows or batch.row_bits != spec.row_bits:
+        raise ValueError(
+            f"sparse batch geometry ({batch.array_rows}, {batch.row_bits}) does "
+            f"not match the spec ({spec.rows}, {spec.row_bits})"
+        )
+    if decoder is None:
+        decoder = make_packed_decoder(spec)
+
+    verdicts = np.zeros(batch.n_trials, dtype=np.uint8)  # VERDICT_CORRECTED
+    n_pairs = batch.n_pairs
+    if n_pairs == 0:
+        return verdicts
+    trial_idx = batch.trial_idx
+    state = np.asarray(batch.rows, dtype=np.uint8).copy()
+
+    if spec.is_two_dimensional:
+        state = _recover_sparse(spec, state, batch, decoder)
+
+    # Classification over the final dirty rows; clean rows decode clean
+    # with zero residual, so they cannot flip any trial's verdict.
+    dec = decoder.decode(state)
+    residual = state ^ dec.corrections if dec.corrections is not None else state
+    d = spec.interleave_degree
+    data_wrong = (
+        residual[:, : spec.data_bits * d].reshape(n_pairs, spec.data_bits, d).any(axis=1)
+    )
+    word_due = dec.faulty
+    word_silent = ~word_due & data_wrong
+    verdicts[trial_idx[word_due.any(axis=-1)]] = VERDICT_DETECTED
+    # Silent corruption dominates the trial verdict, exactly as dense.
+    verdicts[trial_idx[word_silent.any(axis=-1)]] = VERDICT_SILENT
+    return verdicts
+
+
+def _recover_sparse(
+    spec: EngineSpec,
+    state: np.ndarray,
+    batch: SparseRowBatch,
+    decoder: VectorDecoder,
+) -> np.ndarray:
+    """Scrub + row reconstruction over the dirty rows only.
+
+    Mirrors :func:`repro.engine.batch._recover_batch` step for step;
+    the vertical group syndromes reduce over the dirty members of each
+    ``(trial, group)`` segment because clean rows contribute an
+    all-zero content mask.
+    """
+    v = spec.vertical_groups
+    assert v is not None
+
+    dec = decoder.decode(state)
+    row_faulty = dec.faulty.any(axis=-1)  # (n_pairs,)
+    if dec.corrections is not None:
+        content = state ^ dec.corrections
+        state = np.where(row_faulty[:, None], state, content)
+    else:
+        content = state
+    if not row_faulty.any():
+        return state
+
+    # A (trial, vertical-group) key per dirty row; groups with exactly
+    # one faulty member are reconstructible.
+    group_key = batch.trial_idx * v + (batch.row_idx % v)
+    faulty_pairs = np.nonzero(row_faulty)[0]
+    _, inverse, counts = np.unique(
+        group_key[faulty_pairs], return_inverse=True, return_counts=True
+    )
+    targets = faulty_pairs[counts[inverse] == 1]
+    if targets.size == 0:
+        return state
+
+    # Segmented XOR of content over each (trial, group): sort the dirty
+    # rows by key once, reduce between boundaries.
+    order = np.argsort(group_key, kind="stable")
+    sorted_keys = group_key[order]
+    seg_starts = np.nonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])[0]
+    segment_xor = np.bitwise_xor.reduceat(content[order], seg_starts, axis=0)
+    segment_of = np.searchsorted(sorted_keys[seg_starts], group_key[targets])
+
+    # Rebuilding the lone faulty row leaves it with the XOR of the
+    # *other* members' residuals.
+    candidate = segment_xor[segment_of] ^ content[targets]
+    cand_dec = decoder.decode(candidate)
+    accepted = ~cand_dec.faulty.any(axis=-1)
+    if not accepted.any():
+        return state
+    if cand_dec.corrections is not None:
+        repaired = candidate ^ cand_dec.corrections
+    else:
+        repaired = candidate
+    state[targets[accepted]] = repaired[accepted]
+    return state

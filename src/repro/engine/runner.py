@@ -2,11 +2,13 @@
 
 :func:`run_experiment` is the engine's front door.  It splits the trial
 space into chunks of whole RNG blocks, evaluates them serially or across
-a ``multiprocessing`` pool, and merges the per-chunk tallies.  Because
-every trial's randomness is keyed by its block (:mod:`repro.engine.rng`)
-and the merge is a commutative sum plus an order-restoring concatenation,
-**the result is bit-identical for any worker count and chunk size** —
-parallelism is purely a throughput knob.
+a persistent :class:`~repro.engine.executor.SharedExecutor` pool, and
+merges the per-chunk tallies.  Because every trial's randomness is keyed
+by its block (:mod:`repro.engine.rng`) and the merge is a commutative sum
+plus an order-restoring concatenation, **the result is bit-identical for
+any worker count, chunk size, executor and execution mode** —
+parallelism and the sparse/packed dispatch (:mod:`repro.engine.packed`)
+are purely throughput knobs.
 
 Results can be transparently memoized through
 :class:`repro.engine.cache.ResultCache`; repeated experiment runs with
@@ -15,15 +17,23 @@ the same spec/model/trials/seed are then free.
 
 from __future__ import annotations
 
-import multiprocessing
+import functools
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.scenarios.sparse import SparseRowBatch
+
 from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
 from .batch import EngineSpec, make_decoder, run_recovery_batch
 from .cache import ENGINE_VERSION, ResultCache, cache_key
+from .executor import SharedExecutor
+from .packed import (
+    SPARSE_DISPATCH_BREAK_EVEN,
+    make_packed_decoder,
+    run_recovery_batch_sparse,
+)
 from .rng import (
     DEFAULT_BLOCK_SIZE,
     BlockStreams,
@@ -32,7 +42,27 @@ from .rng import (
     n_blocks,
 )
 
-__all__ = ["EngineResult", "run_experiment"]
+__all__ = ["EngineResult", "run_experiment", "EXECUTION_MODES"]
+
+#: How a run evaluates its blocks.  ``auto`` (the default) prefers a
+#: scenario's sparse emitter and falls back to dense sampling with a
+#: per-block density check; ``sparse``/``dense`` force one path.  The
+#: mode is pure scheduling — every mode produces bit-identical results
+#: and shares one cache key.
+EXECUTION_MODES = ("auto", "sparse", "dense")
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_decoder(spec: EngineSpec):
+    """Per-process dense decoder cache (persistent-pool workers keep
+    their lookup tables warm across chunks, runs and experiment cells)."""
+    return make_decoder(spec)
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_packed_decoder(spec: EngineSpec):
+    """Per-process packed decoder cache; see :func:`_cached_decoder`."""
+    return make_packed_decoder(spec)
 
 
 @dataclass(frozen=True)
@@ -58,6 +88,25 @@ class EngineResult:
         return CoverageEstimate.from_counts(self.counts, confidence)
 
 
+def _sample_sparse_block(spec: EngineSpec, model, seed: int, block: int, block_size: int):
+    """A block's :class:`SparseRowBatch` from the model's sparse emitter,
+    or ``None`` when the model (configuration) has no sparse path.
+
+    The emitter protocol mirrors dense sampling: ``sample_sparse_block``
+    gets the block's :class:`BlockStreams` handle, a plain
+    ``sample_sparse`` gets the root generator.  Emitters that decline
+    must do so before drawing, so a dense retry on a fresh block
+    generator sees the pristine stream.
+    """
+    sparse_block = getattr(model, "sample_sparse_block", None)
+    if sparse_block is not None:
+        return sparse_block(BlockStreams(seed, block), block_size, spec)
+    sparse = getattr(model, "sample_sparse", None)
+    if sparse is not None:
+        return sparse(block_generator(seed, block), block_size, spec)
+    return None
+
+
 def _run_trial_range(
     spec: EngineSpec,
     model,
@@ -66,6 +115,7 @@ def _run_trial_range(
     first_trial: int,
     last_trial: int,
     collect_verdicts: bool,
+    execution: str = "auto",
 ) -> tuple[TrialCounts, "np.ndarray | None"]:
     """Evaluate trials ``[first_trial, last_trial)`` block by block.
 
@@ -76,17 +126,55 @@ def _run_trial_range(
     population from its own lane); plain models with only a
     ``sample(rng, count, spec)`` method get the block's root generator —
     the identical stream either way for single-population scenarios.
+
+    ``execution`` picks dense or sparse/packed evaluation per block; the
+    verdicts are bit-identical either way (the sparse path is a lossless
+    restriction of the dense one to the dirty rows), so this is purely a
+    throughput knob, like the worker count.
     """
-    decoder = make_decoder(spec)
     aggregator = StreamingAggregator()
     collected: list[np.ndarray] = []
     sample_block = getattr(model, "sample_block", None)
     for piece in iter_block_slices(first_trial, last_trial, block_size):
-        if sample_block is not None:
-            masks = sample_block(BlockStreams(seed, piece.block), block_size, spec)
+        batch = None
+        if execution != "dense":
+            batch = _sample_sparse_block(spec, model, seed, piece.block, block_size)
+        if batch is not None:
+            sub = batch.slice_trials(piece.start, piece.stop)
+            if (
+                execution == "auto"
+                and sub.dirty_row_fraction() > SPARSE_DISPATCH_BREAK_EVEN
+            ):
+                # A sparse-capable but dense-in-practice configuration
+                # (huge n_cells, array-spanning bursts): past the
+                # break-even the dense kernels win, and bit-identity
+                # makes the densify round-trip free of consequence.
+                verdicts = run_recovery_batch(
+                    spec, sub.densify(), _cached_decoder(spec)
+                )
+            else:
+                verdicts = run_recovery_batch_sparse(
+                    spec, sub, _cached_packed_decoder(spec)
+                )
         else:
-            masks = model.sample(block_generator(seed, piece.block), block_size, spec)
-        verdicts = run_recovery_batch(spec, masks[piece.start : piece.stop], decoder)
+            if sample_block is not None:
+                masks = sample_block(BlockStreams(seed, piece.block), block_size, spec)
+            else:
+                masks = model.sample(
+                    block_generator(seed, piece.block), block_size, spec
+                )
+            sliced = masks[piece.start : piece.stop]
+            row_any = sliced.any(axis=-1) if execution != "dense" else None
+            if execution == "sparse" or (
+                execution == "auto"
+                and row_any.mean() <= SPARSE_DISPATCH_BREAK_EVEN
+            ):
+                sub = SparseRowBatch.from_masks(sliced, row_any)
+                verdicts = run_recovery_batch_sparse(
+                    spec, sub, _cached_packed_decoder(spec)
+                )
+            else:
+                verdicts = run_recovery_batch(spec, sliced, _cached_decoder(spec))
         aggregator.update(verdicts)
         if collect_verdicts:
             collected.append(verdicts)
@@ -123,6 +211,9 @@ def run_experiment(
     chunk_blocks: int = 1,
     collect_verdicts: bool = True,
     cache: "ResultCache | None" = None,
+    execution: str = "auto",
+    executor: "SharedExecutor | None" = None,
+    mp_context=None,
 ) -> EngineResult:
     """Run ``n_trials`` Monte Carlo fault-injection trials.
 
@@ -136,7 +227,8 @@ def run_experiment(
         fully determine the result; scheduling parameters cannot change
         it.
     n_workers:
-        Process count.  1 (the default) runs in-process.
+        Process count.  1 (the default) runs in-process.  Ignored when
+        ``executor`` is given.
     block_size:
         Trials per RNG block — part of the experiment identity.
     chunk_blocks:
@@ -145,6 +237,20 @@ def run_experiment(
         Keep the per-trial verdict array (1 byte/trial) in the result.
     cache:
         Optional :class:`ResultCache`; hits skip the simulation.
+    execution:
+        Block evaluation strategy (:data:`EXECUTION_MODES`): ``auto``
+        dispatches sparsely when the scenario emits sparse batches or
+        the sampled blocks are mostly clean, ``sparse``/``dense`` force
+        a path.  Results and cache keys are identical across modes.
+    executor:
+        A persistent :class:`SharedExecutor` to fan out on (e.g. the
+        one owned by a :class:`repro.api.Session`).  When omitted a
+        transient executor is built from ``n_workers``/``mp_context``
+        and torn down after the run.
+    mp_context:
+        Explicit multiprocessing start method for the transient
+        executor (name or context; default per
+        :func:`repro.engine.executor.resolve_mp_context`).
     """
     if n_trials < 0:
         raise ValueError("n_trials must be non-negative")
@@ -152,6 +258,8 @@ def run_experiment(
         raise ValueError("n_workers must be positive")
     if chunk_blocks < 1:
         raise ValueError("chunk_blocks must be positive")
+    if execution not in EXECUTION_MODES:
+        raise ValueError(f"execution must be one of {EXECUTION_MODES}")
 
     params = {
         "engine_version": ENGINE_VERSION,
@@ -186,17 +294,14 @@ def run_experiment(
     started = time.perf_counter()
     ranges = _chunk_ranges(n_trials, block_size, chunk_blocks)
     payloads = [
-        (spec, model, seed, block_size, first, last, collect_verdicts)
+        (spec, model, seed, block_size, first, last, collect_verdicts, execution)
         for first, last in ranges
     ]
-    if n_workers == 1 or len(payloads) <= 1:
-        outcomes = [_worker(p) for p in payloads]
+    if executor is not None:
+        outcomes = executor.map(_worker, payloads)
     else:
-        # fork (the POSIX default) shares the imported package with the
-        # children; under spawn the workers re-import repro, which works
-        # as long as the package is installed or on PYTHONPATH.
-        with multiprocessing.get_context().Pool(processes=n_workers) as pool:
-            outcomes = pool.map(_worker, payloads)
+        with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
+            outcomes = transient.map(_worker, payloads)
     elapsed = time.perf_counter() - started
 
     aggregator = StreamingAggregator()

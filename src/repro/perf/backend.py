@@ -6,8 +6,9 @@ fixed-size RNG blocks, every block draws its arrivals and bank
 assignments from its own block-keyed lanes
 (:class:`repro.engine.rng.BlockStreams` — lane 0 burst chain, lane 1
 event counts, lane 2 bank assignment), blocks are fanned out over a
-``multiprocessing`` pool, and the per-trial outputs are concatenated in
-trial order.  Results are therefore **bit-identical for any worker
+persistent :class:`repro.engine.executor.SharedExecutor` pool (shared
+with the fault-injection engine; sessions keep one warm across cells),
+and the per-trial outputs are concatenated in trial order.  Results are therefore **bit-identical for any worker
 count and chunk size** — parallelism is purely a throughput knob, the
 same contract the fault-injection engine makes.
 
@@ -27,7 +28,6 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-import multiprocessing
 import time
 from dataclasses import dataclass
 
@@ -36,6 +36,7 @@ import numpy as np
 from repro.cmp.config import CmpConfig, ProtectionConfig
 from repro.engine.aggregate import MeanEstimate
 from repro.engine.cache import ResultCache, cache_key
+from repro.engine.executor import SharedExecutor
 from repro.engine.rng import BlockStreams, iter_block_slices
 from repro.workloads.profiles import WorkloadProfile
 
@@ -353,6 +354,8 @@ def run_performance_grid(
     block_size: int = DEFAULT_PERF_BLOCK_SIZE,
     chunk_blocks: "int | None" = None,
     cache: "ResultCache | None" = None,
+    executor: "SharedExecutor | None" = None,
+    mp_context=None,
 ) -> dict:
     """Run every protection of a grid on shared draws; returns
     ``{label: PerfResult}``.
@@ -362,6 +365,13 @@ def run_performance_grid(
     arrivals, shared bank draws, shared booking work per L1/L2 mode).
     ``chunk_blocks`` (blocks per work item) defaults to an even split
     over the workers; like the worker count it cannot change results.
+
+    ``executor`` shares a persistent worker pool across grids (the same
+    :class:`~repro.engine.executor.SharedExecutor` the fault-injection
+    engine uses; a :class:`repro.api.Session` passes its own), so a
+    multi-cell sweep forks once instead of once per cell; ``n_workers``
+    is ignored when one is given.  ``mp_context`` picks the start
+    method for the transient pool built otherwise.
     """
     if n_cycles < 100:
         raise ValueError("n_cycles must be at least 100")
@@ -373,6 +383,8 @@ def run_performance_grid(
         raise ValueError("chunk_blocks must be positive")
     if not protections:
         raise ValueError("need at least one protection configuration")
+    if executor is not None:
+        n_workers = executor.workers
 
     def build(label: str, fields: dict, elapsed: float, cached: bool) -> PerfResult:
         return PerfResult(
@@ -409,11 +421,11 @@ def run_performance_grid(
             (cmp_cfg, profile, missing, n_cycles, seed, block_size, first, last)
             for first, last in ranges
         ]
-        if n_workers == 1 or len(payloads) <= 1:
-            outcomes = [_worker(p) for p in payloads]
+        if executor is not None:
+            outcomes = executor.map(_worker, payloads)
         else:
-            with multiprocessing.get_context().Pool(processes=n_workers) as pool:
-                outcomes = pool.map(_worker, payloads)
+            with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
+                outcomes = transient.map(_worker, payloads)
         elapsed = time.perf_counter() - started
         for label in missing:
             fields = {

@@ -15,6 +15,10 @@ numbers surface* (:mod:`repro.api`):
 * :mod:`repro.scenarios.models` — the built-ins: ``iid_uniform``,
   ``clustered_mbu``, ``fixed_cluster``, ``burst_row``,
   ``burst_column``, ``hard_fault_map`` and ``composite``.
+* :mod:`repro.scenarios.sparse` — :class:`SparseRowBatch`, the dirty
+  rows-only interchange format scenarios may emit through
+  ``sample_sparse`` so the engine never materializes (or decodes) the
+  clean bulk of the mask tensor.
 
 Every registered scenario is reachable from the experiment catalog
 (``scenario="..."`` params on Monte Carlo experiments) and from the CLI
@@ -41,8 +45,10 @@ from .models import (
     HardFaultMapScenario,
     IidUniformScenario,
 )
+from .sparse import SparseRowBatch
 
 __all__ = [
+    "SparseRowBatch",
     "Geometry",
     "ScenarioBase",
     "ScenarioModel",

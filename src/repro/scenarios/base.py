@@ -105,6 +105,32 @@ class ScenarioBase:
     def sample_block(self, streams, count: int, spec: Geometry) -> np.ndarray:
         return self.sample(streams.root(), count, spec)
 
+    # ------------------------------------------------------------------
+    # sparse emission (optional fast path)
+    # ------------------------------------------------------------------
+
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        """Dirty rows only, as a :class:`~repro.scenarios.sparse.SparseRowBatch`.
+
+        Scenarios whose fault populations touch few rows override this
+        to let the engine skip decoding clean rows entirely.  The
+        contract is strict: the override must consume ``rng`` exactly
+        as :meth:`sample` does, and its densified output must equal the
+        dense masks bit for bit — the engine's sparse and dense paths
+        are interchangeable per block.
+
+        Returning ``None`` (the default) means "no sparse emitter for
+        this configuration"; the decision must depend only on the
+        scenario's configuration, never on the draws, and the base
+        implementation draws nothing.
+        """
+        return None
+
+    def sample_sparse_block(self, streams, count: int, spec: Geometry):
+        """Block-keyed sparse emission (same lane discipline as
+        :meth:`sample_block`); ``None`` falls the block back to dense."""
+        return self.sample_sparse(streams.root(), count, spec)
+
 
 class UnknownScenarioError(KeyError):
     """Requested scenario name is not in the registry."""

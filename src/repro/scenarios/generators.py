@@ -20,17 +20,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from .sparse import SparseRowBatch
+
 __all__ = [
     "place_clusters",
     "solid_cluster_masks",
+    "solid_cluster_sparse",
     "sample_footprints",
     "spread_footprints",
     "place_bursts",
     "burst_masks",
+    "burst_row_sparse",
     "bernoulli_masks",
     "exact_cells_masks",
+    "exact_cells_sparse",
     "counted_cells_masks",
+    "counted_cells_sparse",
     "poisson_defect_masks",
+    "poisson_defect_sparse",
     "mostly_single_bit_footprints",
 ]
 
@@ -84,6 +91,21 @@ def place_clusters(
     return r0, c0
 
 
+def _draw_cluster_rects(
+    rng: np.random.Generator,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    rows: int,
+    cols: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The one cluster draw both mask and sparse emitters share:
+    clip footprints to the array, then place corners uniformly."""
+    heights = np.minimum(np.asarray(heights, dtype=np.int64), rows)
+    widths = np.minimum(np.asarray(widths, dtype=np.int64), cols)
+    r0, c0 = place_clusters(rng, heights, widths, rows, cols)
+    return heights, widths, r0, c0
+
+
 def solid_cluster_masks(
     rng: np.random.Generator,
     heights: np.ndarray,
@@ -92,9 +114,7 @@ def solid_cluster_masks(
     cols: int,
 ) -> np.ndarray:
     """Uniformly placed solid clusters, one per trial, as bit masks."""
-    heights = np.minimum(np.asarray(heights, dtype=np.int64), rows)
-    widths = np.minimum(np.asarray(widths, dtype=np.int64), cols)
-    r0, c0 = place_clusters(rng, heights, widths, rows, cols)
+    heights, widths, r0, c0 = _draw_cluster_rects(rng, heights, widths, rows, cols)
     row_idx = np.arange(rows)
     col_idx = np.arange(cols)
     row_hit = ((row_idx >= r0[:, None]) & (row_idx < (r0 + heights)[:, None]))
@@ -104,6 +124,33 @@ def solid_cluster_masks(
     # over the (trials, rows, cols) output this call is bound by.
     return np.einsum(
         "tr,tc->trc", row_hit.astype(np.uint8), col_hit.astype(np.uint8)
+    )
+
+
+def solid_cluster_sparse(
+    rng: np.random.Generator,
+    heights: np.ndarray,
+    widths: np.ndarray,
+    rows: int,
+    cols: int,
+) -> SparseRowBatch:
+    """Sparse twin of :func:`solid_cluster_masks`: identical draws,
+    identical cells, but emitted as the dirty rows only.
+
+    Both paths draw through :func:`_draw_cluster_rects`, so a seeded
+    stream produces the same clusters on either path by construction;
+    only the output representation differs — ``O(sum(heights))`` rows
+    instead of a dense ``(trials, rows, cols)`` tensor.
+    """
+    heights, widths, r0, c0 = _draw_cluster_rects(rng, heights, widths, rows, cols)
+    return SparseRowBatch.from_row_spans(
+        n_trials=heights.shape[0],
+        array_rows=rows,
+        row_bits=cols,
+        r0=r0,
+        heights=heights,
+        c0=c0,
+        widths=widths,
     )
 
 
@@ -156,6 +203,16 @@ def place_bursts(
     return rng.integers(0, n_lines - spans + 1, size=spans.shape[0])
 
 
+def _draw_burst_extents(
+    rng: np.random.Generator, count: int, n_lines: int, span: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """The one burst draw both mask and sparse emitters share: uniform
+    start lines for ``count`` bursts, spans clipped to the axis."""
+    spans = np.full(count, span, dtype=np.int64)
+    starts = place_bursts(rng, spans, n_lines)
+    return starts, np.minimum(spans, n_lines)
+
+
 def burst_masks(
     rng: np.random.Generator,
     count: int,
@@ -172,9 +229,7 @@ def burst_masks(
     if axis not in ("row", "column"):
         raise ValueError(f"axis must be 'row' or 'column', got {axis!r}")
     n_lines = rows if axis == "row" else cols
-    spans = np.full(count, span, dtype=np.int64)
-    starts = place_bursts(rng, spans, n_lines)
-    spans = np.minimum(spans, n_lines)
+    starts, spans = _draw_burst_extents(rng, count, n_lines, span)
     line_idx = np.arange(n_lines)
     hit = (line_idx >= starts[:, None]) & (line_idx < (starts + spans)[:, None])
     masks = np.zeros((count, rows, cols), dtype=np.uint8)
@@ -183,6 +238,23 @@ def burst_masks(
     else:
         masks |= hit[:, None, :]
     return masks
+
+
+def burst_row_sparse(
+    rng: np.random.Generator, count: int, rows: int, cols: int, span: int
+) -> SparseRowBatch:
+    """Sparse twin of ``burst_masks(axis="row")``: same placement draws,
+    dirty rows emitted directly (``span`` full rows per trial)."""
+    starts, spans = _draw_burst_extents(rng, count, rows, span)
+    return SparseRowBatch.from_row_spans(
+        n_trials=count,
+        array_rows=rows,
+        row_bits=cols,
+        r0=starts,
+        heights=spans,
+        c0=np.zeros(count, dtype=np.int64),
+        widths=np.full(count, cols, dtype=np.int64),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -200,21 +272,55 @@ def bernoulli_masks(
     )
 
 
+def _draw_exact_cells(
+    rng: np.random.Generator, count: int, n_sites: int, n_cells: int
+) -> "np.ndarray | None":
+    """The one distinct-cell draw both mask and sparse emitters share.
+
+    argpartition of one uniform draw per cell gives ``n_cells``
+    distinct uniform cells per trial in a single vectorized pass;
+    returns ``(count, n_cells)`` site indices (None when zero cells).
+    """
+    if n_cells > n_sites:
+        raise ValueError("more faulty cells than array cells")
+    if not n_cells:
+        return None
+    scores = rng.random((count, n_sites))
+    return np.argpartition(scores, n_cells - 1, axis=1)[:, :n_cells]
+
+
 def exact_cells_masks(
     rng: np.random.Generator, count: int, rows: int, cols: int, n_cells: int
 ) -> np.ndarray:
     """Exactly ``n_cells`` distinct uniformly-placed cells per trial."""
     n_sites = rows * cols
-    if n_cells > n_sites:
-        raise ValueError("more faulty cells than array cells")
+    chosen = _draw_exact_cells(rng, count, n_sites, n_cells)
     masks = np.zeros((count, n_sites), dtype=np.uint8)
-    if n_cells:
-        # argpartition of one uniform draw per cell gives n distinct
-        # uniform cells per trial in a single vectorized pass.
-        scores = rng.random((count, n_sites))
-        chosen = np.argpartition(scores, n_cells - 1, axis=1)[:, :n_cells]
+    if chosen is not None:
         masks[np.arange(count)[:, None], chosen] = 1
     return masks.reshape(count, rows, cols)
+
+
+def exact_cells_sparse(
+    rng: np.random.Generator, count: int, rows: int, cols: int, n_cells: int
+) -> SparseRowBatch:
+    """Sparse twin of :func:`exact_cells_masks` (shared draw helper).
+
+    The uniform score matrix is still drawn in full — that is what
+    keeps the cell placement bit-exact with the dense path — but the
+    mask tensor is never materialized and decode work downstream scales
+    with ``n_cells``, not with the array size.
+    """
+    chosen = _draw_exact_cells(rng, count, rows * cols, n_cells)
+    if chosen is None:
+        return SparseRowBatch.empty(count, rows, cols)
+    return SparseRowBatch.from_cells(
+        n_trials=count,
+        array_rows=rows,
+        row_bits=cols,
+        cell_trials=np.repeat(np.arange(count, dtype=np.int64), n_cells),
+        cell_sites=chosen.reshape(-1),
+    )
 
 
 def counted_cells_masks(
@@ -267,12 +373,39 @@ def counted_cells_masks(
     return masks.reshape(n_trials, rows, cols)
 
 
+def counted_cells_sparse(
+    rng: np.random.Generator, counts: np.ndarray, rows: int, cols: int
+) -> SparseRowBatch:
+    """Sparse view of :func:`counted_cells_masks` (identical draws).
+
+    The draw-and-patch sampler's redraw loop keys off the running dense
+    occupancy, so the dense masks are still built internally; the win
+    is everything downstream — the sparse batch carries only the dirty
+    rows into decode.
+    """
+    return SparseRowBatch.from_masks(counted_cells_masks(rng, counts, rows, cols))
+
+
+def _draw_poisson_counts(
+    rng: np.random.Generator, count: int, n_sites: int, density: float
+) -> np.ndarray:
+    """The one defect-count draw both Poisson emitters share."""
+    if density < 0:
+        raise ValueError("defect density must be non-negative")
+    return np.minimum(rng.poisson(density * n_sites, size=count), n_sites)
+
+
 def poisson_defect_masks(
     rng: np.random.Generator, count: int, rows: int, cols: int, density: float
 ) -> np.ndarray:
     """Manufacturing defect maps: Poisson(density * cells) faults per trial."""
-    if density < 0:
-        raise ValueError("defect density must be non-negative")
-    n_sites = rows * cols
-    counts = np.minimum(rng.poisson(density * n_sites, size=count), n_sites)
+    counts = _draw_poisson_counts(rng, count, rows * cols, density)
     return counted_cells_masks(rng, counts, rows, cols)
+
+
+def poisson_defect_sparse(
+    rng: np.random.Generator, count: int, rows: int, cols: int, density: float
+) -> SparseRowBatch:
+    """Sparse twin of :func:`poisson_defect_masks` (shared draw helpers)."""
+    counts = _draw_poisson_counts(rng, count, rows * cols, density)
+    return counted_cells_sparse(rng, counts, rows, cols)

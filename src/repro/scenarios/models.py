@@ -47,13 +47,18 @@ from .base import Geometry, ScenarioBase, scenario, scenario_from_config
 from .generators import (
     bernoulli_masks,
     burst_masks,
+    burst_row_sparse,
     exact_cells_masks,
+    exact_cells_sparse,
     mostly_single_bit_footprints,
     poisson_defect_masks,
+    poisson_defect_sparse,
     sample_footprints,
     solid_cluster_masks,
+    solid_cluster_sparse,
     spread_footprints,
 )
+from .sparse import SparseRowBatch
 
 if TYPE_CHECKING:  # the scalar distribution type; never imported at runtime
     from repro.errors.injector import FootprintDistribution
@@ -114,6 +119,13 @@ class IidUniformScenario(ScenarioBase):
         return bernoulli_masks(
             rng, count, spec.rows, spec.row_bits, self.flip_probability
         )
+
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        # Bernoulli flips dirty a density-dependent row fraction; only
+        # the exact-count mode is reliably sparse.
+        if self.n_cells is None:
+            return None
+        return exact_cells_sparse(rng, count, spec.rows, spec.row_bits, self.n_cells)
 
     def to_key(self) -> dict:
         # The exact-count mode keeps the original RandomCellsModel key so
@@ -179,6 +191,12 @@ class ClusteredMbuScenario(ScenarioBase):
             heights, widths = spread_footprints(rng, heights, widths, self.spread)
         return solid_cluster_masks(rng, heights, widths, spec.rows, spec.row_bits)
 
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        heights, widths = sample_footprints(rng, self.footprints, count)
+        if self.spread:
+            heights, widths = spread_footprints(rng, heights, widths, self.spread)
+        return solid_cluster_sparse(rng, heights, widths, spec.rows, spec.row_bits)
+
     def to_key(self) -> dict:
         key = {
             "model": "cluster_distribution",
@@ -208,6 +226,11 @@ class FixedClusterScenario(ScenarioBase):
         widths = np.full(count, self.width, dtype=np.int64)
         return solid_cluster_masks(rng, heights, widths, spec.rows, spec.row_bits)
 
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        heights = np.full(count, self.height, dtype=np.int64)
+        widths = np.full(count, self.width, dtype=np.int64)
+        return solid_cluster_sparse(rng, heights, widths, spec.rows, spec.row_bits)
+
     def to_key(self) -> dict:
         return {"model": "fixed_cluster", "height": self.height, "width": self.width}
 
@@ -229,6 +252,9 @@ class BurstRowScenario(ScenarioBase):
 
     def sample(self, rng: np.random.Generator, count: int, spec: Geometry) -> np.ndarray:
         return burst_masks(rng, count, spec.rows, spec.row_bits, self.span, "row")
+
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        return burst_row_sparse(rng, count, spec.rows, spec.row_bits, self.span)
 
     def to_key(self) -> dict:
         return {"model": "burst_row", "span": self.span}
@@ -279,6 +305,11 @@ class HardFaultMapScenario(ScenarioBase):
             rng, count, spec.rows, spec.row_bits, self.defect_density
         )
 
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        return poisson_defect_sparse(
+            rng, count, spec.rows, spec.row_bits, self.defect_density
+        )
+
     def to_key(self) -> dict:
         return {"model": "hard_fault_map", "defect_density": self.defect_density}
 
@@ -320,6 +351,27 @@ class CompositeScenario(ScenarioBase):
         hard = self.hard.sample(streams.lane(0), count, spec)
         soft = self.soft.sample(streams.lane(1), count, spec)
         return hard | soft
+
+    def sample_sparse(self, rng: np.random.Generator, count: int, spec: Geometry):
+        hard = self.hard.sample_sparse(rng, count, spec)
+        if hard is None:
+            return None
+        soft = self.soft.sample_sparse(rng, count, spec)
+        if soft is None:
+            return None
+        return hard.merge(soft)
+
+    def sample_sparse_block(self, streams, count: int, spec: Geometry):
+        # Both populations must go sparse together: mixing a sparse
+        # population with a dense one would still materialize the full
+        # tensor, so fall the whole block back to the dense path.
+        hard = self.hard.sample_sparse(streams.lane(0), count, spec)
+        if hard is None:
+            return None
+        soft = self.soft.sample_sparse(streams.lane(1), count, spec)
+        if soft is None:
+            return None
+        return hard.merge(soft)
 
     def to_key(self) -> dict:
         return {

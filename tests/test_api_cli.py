@@ -103,6 +103,25 @@ class TestRun:
             param_path.read_text()
         )
 
+    def test_workers_passthrough_matches_single_worker(self, capsys, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        workers_path = tmp_path / "workers.json"
+        argv = ["run", "fig3.coverage", "--trials", "256", "--seed", "7", "-q"]
+        assert main([*argv, "--output", str(serial_path)]) == 0
+        assert main([*argv, "--workers", "2", "--output", str(workers_path)]) == 0
+        # Worker count is pure scheduling: byte-identical results.
+        assert Result.from_json(serial_path.read_text()) == Result.from_json(
+            workers_path.read_text()
+        )
+
+    @pytest.mark.parametrize("count", ["0", "-3"])
+    def test_non_positive_workers_exit_usage_error(self, capsys, count):
+        code = main([
+            "run", "fig3.coverage", "--trials", "8", "--workers", count,
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_unknown_scenario_exits_usage_error(self, capsys):
         code = main([
             "run", "fig3.coverage", "--trials", "8", "--scenario", "bogus_scenario",
