@@ -1,146 +1,75 @@
-"""Diff fresh ``BENCH_*.json`` runs against the committed baselines.
+"""Gate fresh ``BENCH_*.json`` runs against the committed baselines.
 
 The benchmark suite records machine-readable measurements
 (``reporting.write_bench``); the committed snapshots under
 ``benchmarks/baselines/`` pin the performance trajectory.  This script
-compares a fresh run against them with a tolerance band::
+compares a fresh run against them::
 
     python -m pytest benchmarks -q          # writes BENCH_*.json to CWD
     python benchmarks/compare.py            # diffs CWD vs baselines
 
-Nested figure payloads are flattened to dotted keys so every numeric
-leaf participates.  Throughput-like metrics (``*_per_second``,
-``speedup``) may regress by at most ``--tolerance`` (default 60% — CI
-machines are noisy; the point is catching collapses, not jitter);
-latency-like metrics (``ms_per_*``, ``*_seconds``) may grow by the
-same band.  Metrics whose direction is unknown are never judged:
-shifts beyond the band are surfaced as info lines, the rest are only
-counted in the summary.
+The comparison semantics live in :mod:`repro.viz.bench` (shared with
+the ``python -m repro bench-trend`` dashboard): nested payloads are
+flattened to dotted metric ids, throughput-like metrics may regress by
+at most their tolerance band, latency-like metrics may grow by the
+same, and direction-unknown metrics are surfaced but never judged.
+Bands come from the checked-in ``benchmarks/tolerances.json``
+(``--tolerances`` overrides the file, ``--tolerance`` the default
+band).
 
-Exit status: 0 when nothing regressed beyond tolerance (or with
-``--no-fail``), 1 otherwise.  CI runs this as a *non-blocking* report
-step (``continue-on-error``), so a slow runner annotates the build
-instead of failing it.
+Exit status: 0 when nothing regressed beyond tolerance, 1 otherwise.
+CI runs this as a *gating* step; ``--no-fail`` is the escape hatch for
+pure report mode (exit 0 regardless), e.g. on known-noisy runners.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-#: Keys never compared: bookkeeping, not measurements.
-_SKIP_KEYS = {"recorded_at", "workload"}
-
-#: Key fragments that identify a metric's good direction.
-_HIGHER_IS_BETTER = ("per_second", "speedup", "trials_per")
-_LOWER_IS_BETTER = ("ms_per", "seconds_per", "elapsed", "_ms")
-
-
-def _direction(key: str) -> "int | None":
-    """+1 higher-is-better, -1 lower-is-better, None unknown."""
-    lowered = key.lower()
-    if lowered.startswith("target_"):
-        return None  # configured gates, not measurements
-    if any(fragment in lowered for fragment in _HIGHER_IS_BETTER):
-        return 1
-    if any(fragment in lowered for fragment in _LOWER_IS_BETTER):
-        return -1
-    return None
+try:
+    from repro.viz import bench
+except ImportError:  # running from a checkout without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.viz import bench
 
 
-def _flatten(record: dict, prefix: str = "") -> "dict[str, object]":
-    """Flatten nested measurement dicts into dotted keys.
-
-    The fig* benchmarks record structured payloads (per-scheme, per-bar
-    nested mappings); flattening lets every leaf participate in the
-    comparison instead of being skipped as "not a number".
-    """
-    flat: dict = {}
-    for key, value in record.items():
-        name = f"{prefix}{key}"
-        if isinstance(value, dict):
-            flat.update(_flatten(value, prefix=f"{name}."))
-        else:
-            flat[name] = value
-    return flat
-
-
-def _load(directory: Path) -> "dict[str, dict]":
-    records = {}
-    for path in sorted(directory.glob("BENCH_*.json")):
-        name = path.stem[len("BENCH_"):]
-        try:
-            records[name] = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"warning: skipping unreadable {path}: {exc}", file=sys.stderr)
-    return records
-
-
-def compare(
-    baseline_dir: Path, fresh_dir: Path, tolerance: float
-) -> "tuple[list[str], list[str]]":
-    """Return (report lines, regression lines)."""
-    baselines = _load(baseline_dir)
-    fresh = _load(fresh_dir)
-    lines: list[str] = []
-    regressions: list[str] = []
-
-    missing = sorted(set(baselines) - set(fresh))
-    extra = sorted(set(fresh) - set(baselines))
-    for name in missing:
+def _format(result: dict) -> "tuple[list[str], list[str]]":
+    """Render compare_records() output as (report lines, regression lines)."""
+    lines: "list[str]" = []
+    regressions: "list[str]" = []
+    for name in result["missing"]:
         lines.append(f"{name}: no fresh record (benchmark not run?)")
-    for name in extra:
+    for name in result["extra"]:
         lines.append(f"{name}: new benchmark, no baseline yet")
-
-    compared = judged = quiet_info = 0
-    for name in sorted(set(baselines) & set(fresh)):
-        base = _flatten(baselines[name])
-        new = _flatten(fresh[name])
-        for key in sorted(set(base) & set(new)):
-            if key.split(".", 1)[0] in _SKIP_KEYS:
-                continue
-            old_value, new_value = base[key], new[key]
-            if isinstance(old_value, bool) or isinstance(new_value, bool):
-                continue
-            if not isinstance(old_value, (int, float)) or not isinstance(
-                new_value, (int, float)
-            ):
-                lines.append(f"  (skipped: non-numeric) {name}.{key}")
-                continue
-            if old_value == 0:
-                change = 0.0 if new_value == 0 else float("inf")
-            else:
-                change = (new_value - old_value) / abs(old_value)
-            compared += 1
-            label = f"{name}.{key}: {old_value:g} -> {new_value:g} ({change:+.1%})"
-            direction = _direction(key)
-            if direction is None:
-                # Direction-unknown figure data: stay quiet inside the
-                # band, surface large shifts so they are not invisible.
-                if abs(change) > tolerance:
-                    lines.append(f"  (info, large shift) {label}")
-                else:
-                    quiet_info += 1
-            elif (direction == 1 and change < -tolerance) or (
-                direction == -1 and change > tolerance
-            ):
-                judged += 1
-                regressions.append(f"  REGRESSION {label}")
-            else:
-                judged += 1
-                lines.append(f"  ok {label}")
+    judged = quiet = 0
+    for entry in result["entries"]:
+        label = (
+            f"{entry['metric']}: {entry['old']:g} -> {entry['new']:g} "
+            f"({entry['change']:+.1%}, band {entry['band']:.0%})"
+        )
+        status = entry["status"]
+        if status == "regression":
+            judged += 1
+            regressions.append(f"  REGRESSION {label}")
+        elif status == "ok":
+            judged += 1
+            lines.append(f"  ok {label}")
+        elif status == "info":
+            lines.append(f"  (info, large shift) {label}")
+        else:  # quiet: direction-unknown, inside the band
+            quiet += 1
     lines.append(
-        f"compared {compared} numeric metrics ({judged} direction-judged, "
-        f"{quiet_info} direction-unknown within band)"
+        f"compared {len(result['entries'])} numeric metrics "
+        f"({judged} direction-judged, {quiet} direction-unknown within band)"
     )
     return lines, regressions
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Diff fresh BENCH_*.json files against committed baselines."
+        description="Gate fresh BENCH_*.json files against committed baselines."
     )
     parser.add_argument(
         "--baseline",
@@ -155,23 +84,49 @@ def main(argv=None) -> int:
         help="directory containing the fresh run's BENCH_*.json files",
     )
     parser.add_argument(
+        "--tolerances",
+        type=Path,
+        default=Path(__file__).parent / "tolerances.json",
+        help="per-metric tolerance band file (default: benchmarks/tolerances.json)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
-        default=0.6,
-        help="allowed relative regression before flagging (default: 0.6)",
+        default=None,
+        help="override the file's default band (per-metric patterns still apply)",
     )
     parser.add_argument(
         "--no-fail",
         action="store_true",
-        help="always exit 0 (pure report mode)",
+        help="always exit 0 (pure report mode; the documented escape hatch "
+        "for known-noisy runners)",
     )
     args = parser.parse_args(argv)
     if not args.baseline.is_dir():
         print(f"error: baseline directory {args.baseline} not found", file=sys.stderr)
         return 0 if args.no_fail else 1
 
-    lines, regressions = compare(args.baseline, args.fresh, args.tolerance)
-    print(f"benchmark comparison (tolerance {args.tolerance:.0%}):")
+    if args.tolerances.is_file():
+        tolerances = bench.Tolerances.from_file(args.tolerances)
+    else:
+        print(
+            f"warning: tolerance file {args.tolerances} not found, "
+            "using defaults",
+            file=sys.stderr,
+        )
+        tolerances = bench.Tolerances()
+    if args.tolerance is not None:
+        tolerances = bench.Tolerances(
+            default=args.tolerance, bands=tolerances.bands
+        )
+
+    result = bench.compare_records(
+        bench.load_bench_dir(args.baseline),
+        bench.load_bench_dir(args.fresh),
+        tolerances,
+    )
+    lines, regressions = _format(result)
+    print(f"benchmark comparison (default band {tolerances.default:.0%}):")
     for line in lines:
         print(line)
     for line in regressions:

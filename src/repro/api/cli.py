@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Two subcommands:
+Four subcommands:
 
 ``list``
     Enumerate every registered experiment with its backends, defaults
@@ -13,23 +13,41 @@ Two subcommands:
     stdout), and ``--output PATH`` picks the format from the suffix
     (``.csv`` -> CSV, anything else JSON).  ``--scenario NAME`` selects
     a registered fault scenario on experiments that take one.
-    Examples::
+    ``--verbose/-v`` streams INFO-level telemetry to stderr while the
+    run executes; ``--telemetry PATH`` writes the run's raw event
+    stream as JSON lines (``-`` for stdout).  Examples::
 
         python -m repro run fig3.coverage --trials 200000 --json out.json
         python -m repro run fig3.coverage --trials 4096 \
             --scenario burst_row --output fig3_bursts.csv
+        python -m repro run fig3.coverage --trials 4096 -v \
+            --telemetry events.jsonl
+
+``report RESULT.json``
+    Render a saved Result as a self-contained HTML report (inline SVG
+    figures, telemetry tables, embedded JSON); ``-o`` overrides the
+    default ``RESULT.html`` output path.
+
+``bench-trend DIR [DIR ...]``
+    Render benchmark-record directories (oldest first) as a sparkline
+    trend dashboard; ``--tolerances FILE`` supplies per-metric bands
+    (default: the checked-in ``benchmarks/tolerances.json`` when
+    present).
 
 Exit status: 0 on success, 2 on usage errors (including unknown
-experiment names, unknown scenarios and non-positive ``--workers``
-counts), 1 on execution failures.  ``--workers N`` fans Monte Carlo
-runs out over the session's persistent worker pool.
+experiment names, unknown scenarios, non-positive ``--workers`` counts
+and nonexistent ``report``/``bench-trend``/``--telemetry`` paths),
+1 on execution failures.  ``--workers N`` fans Monte Carlo runs out
+over the session's persistent worker pool.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.scenarios import UnknownScenarioError, get_scenario_class
@@ -111,6 +129,54 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the summary table"
     )
+    runner.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="stream INFO-level telemetry (cache, shards, pool lifecycle) "
+        "to stderr while the run executes",
+    )
+    runner.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write the run's raw telemetry event stream as JSON lines "
+        "('-' for stdout)",
+    )
+
+    reporter = sub.add_parser(
+        "report", help="render a saved Result JSON as self-contained HTML"
+    )
+    reporter.add_argument("result", metavar="RESULT.json", help="saved Result JSON file")
+    reporter.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="output HTML path (default: the input path with an .html suffix)",
+    )
+
+    trender = sub.add_parser(
+        "bench-trend",
+        help="render BENCH_*.json directories as a trend dashboard",
+    )
+    trender.add_argument(
+        "directories",
+        metavar="DIR",
+        nargs="+",
+        help="benchmark-record directories, oldest first",
+    )
+    trender.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        default="bench-trend.html",
+        help="output HTML path (default: bench-trend.html)",
+    )
+    trender.add_argument(
+        "--tolerances",
+        metavar="FILE",
+        help="per-metric tolerance bands JSON "
+        "(default: benchmarks/tolerances.json when present)",
+    )
     return parser
 
 
@@ -176,20 +242,65 @@ def _write(path: str, text: str) -> None:
             handle.write(text if text.endswith("\n") else text + "\n")
 
 
-def main(argv: "Sequence[str] | None" = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _cmd_report(args) -> int:
+    from repro.viz import write_report
 
-    if args.command == "list":
-        _print_listing(args.json, sys.stdout)
-        return 0
+    source = Path(args.result)
+    if not source.is_file():
+        print(f"error: result file {source} not found", file=sys.stderr)
+        return 2
+    try:
+        result = Result.from_json(source.read_text())
+    except Exception as exc:
+        print(f"error: {source} is not a saved Result: {exc}", file=sys.stderr)
+        return 2
+    output = Path(args.output) if args.output else source.with_suffix(".html")
+    write_report(result, output)
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
 
+
+def _cmd_bench_trend(args) -> int:
+    from repro.viz import Tolerances, load_runs
+    from repro.viz.trend import write_trend
+
+    directories = [Path(d) for d in args.directories]
+    for directory in directories:
+        if not directory.is_dir():
+            print(f"error: benchmark directory {directory} not found", file=sys.stderr)
+            return 2
+    tolerances = None
+    tolerance_path = args.tolerances
+    if tolerance_path is None:
+        default = Path("benchmarks/tolerances.json")
+        tolerance_path = default if default.is_file() else None
+    if tolerance_path is not None:
+        try:
+            tolerances = Tolerances.from_file(tolerance_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad tolerance file {tolerance_path}: {exc}", file=sys.stderr)
+            return 2
+    output = Path(args.output)
+    write_trend(load_runs(directories), output, tolerances)
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    verbose_handler = None
+    repro_logger = logging.getLogger("repro")
     try:
         params = _parse_params(args.param)
         if args.workers < 1:
             raise SpecError(
                 f"--workers must be a positive process count, got {args.workers}"
             )
+        if args.telemetry and args.telemetry != "-":
+            parent = Path(args.telemetry).parent
+            if not parent.is_dir():
+                raise SpecError(
+                    f"--telemetry: directory {parent} does not exist"
+                )
         if args.scenario is not None:
             get_scenario_class(args.scenario)  # unknown names are usage errors
             if params.get("scenario", args.scenario) != args.scenario:
@@ -206,14 +317,30 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             confidence=args.confidence,
             params=params,
         )
+        if args.verbose:
+            verbose_handler = logging.StreamHandler(sys.stderr)
+            verbose_handler.setFormatter(
+                logging.Formatter("%(name)s: %(message)s")
+            )
+            repro_logger.addHandler(verbose_handler)
+            if repro_logger.level == logging.NOTSET or repro_logger.level > logging.INFO:
+                repro_logger.setLevel(logging.INFO)
         with Session(workers=args.workers, cache_dir=args.cache_dir) as session:
             result = session.run(spec)
+            telemetry_jsonl = (
+                session.last_telemetry.to_jsonl()
+                if session.last_telemetry is not None
+                else ""
+            )
     except (UnknownExperimentError, UnknownScenarioError, SpecError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if verbose_handler is not None:
+            repro_logger.removeHandler(verbose_handler)
 
     if not args.quiet:
         _print_summary(result, sys.stdout)
@@ -224,7 +351,23 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if args.output:
         as_csv = args.output != "-" and args.output.lower().endswith(".csv")
         _write(args.output, result.to_csv() if as_csv else result.to_json(indent=2))
+    if args.telemetry:
+        _write(args.telemetry, telemetry_jsonl)
     return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        _print_listing(args.json, sys.stdout)
+        return 0
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "bench-trend":
+        return _cmd_bench_trend(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,6 +17,7 @@ spreadsheet-friendly consumption.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from dataclasses import dataclass, field
@@ -124,6 +125,22 @@ class Result:
     def meta_dict(self) -> dict:
         thawed = thaw_params(self.meta)
         return dict(thawed) if isinstance(thawed, dict) else {}
+
+    def telemetry(self) -> "dict | None":
+        """The run's ``meta["telemetry"]`` summary (or ``None``)."""
+        return self.meta_dict().get("telemetry")
+
+    def without_telemetry(self) -> "Result":
+        """A copy with the observational telemetry block removed.
+
+        Telemetry carries wall-clock timings, so two runs of the same
+        spec are equal only modulo ``meta["telemetry"]``; this is the
+        canonical way to compare them
+        (``a.without_telemetry() == b.without_telemetry()``).
+        """
+        meta = self.meta_dict()
+        meta.pop("telemetry", None)
+        return dataclasses.replace(self, meta=meta)
 
     def get_series(self, name: str) -> Series:
         for series in self.series:

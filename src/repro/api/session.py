@@ -22,16 +22,45 @@ and returns a serializable :class:`~repro.api.result.Result`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
+
+from repro.obs import RunRecorder, use_recorder
 
 from .registry import Experiment, get_experiment
 from .result import Result, Series
 from .spec import ExperimentSpec, SpecError
 
 __all__ = ["ExperimentContext", "Session", "run"]
+
+
+def _legacy_progress_subscriber(
+    progress: Callable[[dict], None], info: dict
+) -> Callable[[dict], None]:
+    """Adapt the historical ``Session.progress`` callback to a recorder
+    subscriber.
+
+    The legacy contract — one ``{"event": "start", ...}`` dict before
+    the run and one ``{"event": "finish", ..., "elapsed"}`` (plus
+    ``"error"`` on failure) after it — is preserved exactly; the richer
+    telemetry stream stays on the recorder.  Fault isolation (a raising
+    callback is logged and dropped) comes from the recorder's dispatch.
+    """
+
+    def subscriber(event: dict) -> None:
+        name = event.get("event")
+        if name == "run.start":
+            progress({"event": "start", **info, "elapsed": 0.0})
+        elif name == "run.finish":
+            payload = {"event": "finish", **info, "elapsed": event.get("elapsed", 0.0)}
+            if "error" in event:
+                payload["error"] = event["error"]
+            progress(payload)
+
+    return subscriber
 
 
 @dataclass
@@ -138,7 +167,10 @@ class Session:
         Optional callable receiving event dicts
         (``{"event": "start"|"finish", "experiment", "backend",
         "spec_hash", "elapsed"}``) around every run; a failed run's
-        ``finish`` event carries an additional ``error`` field.
+        ``finish`` event carries an additional ``error`` field.  The
+        callback is registered as one subscriber on the run's
+        :class:`~repro.obs.RunRecorder`; a callback that raises is
+        logged once and dropped instead of killing the run.
     mp_context:
         Explicit multiprocessing start method for the session's
         executor ("fork", "spawn", ... or a context object); the
@@ -151,6 +183,15 @@ class Session:
     reuses the same warm worker pool instead of re-forking per call.
     Sessions are context managers; :meth:`close` (or ``with``-exit)
     tears the pool down.
+
+    Every :meth:`run` executes under its own
+    :class:`~repro.obs.RunRecorder`: engine, cache, executor and perf
+    events are collected and distilled into the result's
+    ``meta["telemetry"]`` summary (cache hits/misses, phase timings,
+    shard counts, dispatch decisions — see DESIGN.md §4).  Telemetry is
+    observational only: it never enters ``data`` or any cache key, so a
+    cached re-run returns bit-identical payloads with only
+    ``meta["telemetry"]`` differing.
     """
 
     def __init__(
@@ -169,6 +210,15 @@ class Session:
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._mp_context = mp_context
         self._executor = None
+        self._last_recorder: "RunRecorder | None" = None
+
+    @property
+    def last_telemetry(self) -> "RunRecorder | None":
+        """The :class:`~repro.obs.RunRecorder` of the most recent
+        :meth:`run` call (started or finished), or ``None`` before the
+        first run.  Gives access to the raw event stream
+        (``.to_jsonl()``) beyond the ``meta["telemetry"]`` summary."""
+        return self._last_recorder
 
     @property
     def cache(self):
@@ -203,11 +253,6 @@ class Session:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-    # ------------------------------------------------------------------
-    def _emit(self, payload: dict) -> None:
-        if self.progress is not None:
-            self.progress(payload)
 
     def run(self, spec: "ExperimentSpec | str", /, **overrides: Any) -> Result:
         """Execute one experiment and return its :class:`Result`.
@@ -259,24 +304,41 @@ class Session:
             "backend": backend,
             "spec_hash": spec.content_hash(),
         }
-        self._emit({"event": "start", **info, "elapsed": 0.0})
+        recorder = RunRecorder()
+        self._last_recorder = recorder
+        if self.progress is not None:
+            # The ad-hoc progress hook is just one telemetry subscriber
+            # now; recorder dispatch isolates the run from a broken one.
+            recorder.subscribe(_legacy_progress_subscriber(self.progress, info))
+        recorder.record(
+            "run.start",
+            **info,
+            workers=self.workers,
+            cached=self._cache_dir is not None,
+        )
         started = time.perf_counter()
         try:
-            result = impl(context)
+            with use_recorder(recorder), recorder.timer("execute"):
+                result = impl(context)
         except BaseException as exc:
             # Progress consumers pair start/finish events; a failed run
             # must still deliver its terminal event.
-            self._emit({
-                "event": "finish",
+            recorder.record(
+                "run.finish",
                 **info,
-                "elapsed": time.perf_counter() - started,
-                "error": repr(exc),
-            })
+                elapsed=round(time.perf_counter() - started, 6),
+                error=repr(exc),
+            )
             raise
-        self._emit(
-            {"event": "finish", **info, "elapsed": time.perf_counter() - started}
+        recorder.record(
+            "run.finish", **info, elapsed=round(time.perf_counter() - started, 6)
         )
-        return result
+        # Telemetry rides in meta only: the data/series payloads (and
+        # any cache keys derived from the spec) stay bit-identical
+        # whether or not anyone is watching.
+        meta = result.meta_dict()
+        meta["telemetry"] = recorder.summary()
+        return dataclasses.replace(result, meta=meta)
 
     def run_all(self, specs) -> "list[Result]":
         """Run several specs in order; a simple sweep driver."""

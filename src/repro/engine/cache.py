@@ -11,12 +11,21 @@ Entries are ``.npz`` files holding the verdict counts, the optional
 per-trial verdict array, and the human-readable key parameters (for
 debugging with ``numpy.load`` directly).  Writes go through a temp file
 plus ``os.replace`` so a crashed run never leaves a truncated entry.
+
+Every lookup and store emits a telemetry event (``cache.hit`` /
+``cache.miss`` / ``cache.store`` / ``cache.corrupt``) through
+:func:`repro.obs.emit`, so any run under a
+:class:`~repro.obs.RunRecorder` gets hit/miss accounting for free.  A
+corrupt entry is *not* silently a miss: it is logged at WARNING with
+the offending path and quarantined to ``<name>.corrupt`` so repeated
+runs cannot keep tripping over (and masking) the same bad file.
 """
 
 from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import os
 import tempfile
 import zipfile
@@ -24,7 +33,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import emit
+
 __all__ = ["ResultCache", "cache_key"]
+
+_log = logging.getLogger(__name__)
 
 #: Bump when the engine's semantics change in ways that invalidate old
 #: cached results.
@@ -67,18 +80,43 @@ class ResultCache:
         """Return the stored payload for ``key``, or None on miss.
 
         The payload maps field names to numpy arrays/scalars; the
-        ``params_json`` field holds the original key parameters.
+        ``params_json`` field holds the original key parameters.  A
+        corrupt entry (interrupted write, truncation, disk trouble)
+        must never poison a run — it reads as a miss — but unlike a
+        plain miss it is logged with its path and quarantined to
+        ``<name>.corrupt`` so it cannot silently mask itself forever.
         """
         path = self.path_for(key)
         if not path.exists():
+            emit("cache.miss", logger=_log, key=key)
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
-                return {name: archive[name] for name in archive.files}
-        except (OSError, ValueError, zipfile.BadZipFile, KeyError):
-            # A corrupt entry (interrupted write, truncation, disk
-            # trouble) must never poison a run; treat it as a miss.
+                payload = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, zipfile.BadZipFile, KeyError) as exc:
+            quarantined = self._quarantine(path)
+            emit(
+                "cache.corrupt",
+                logger=_log,
+                level=logging.WARNING,
+                key=key,
+                path=str(path),
+                quarantined=str(quarantined) if quarantined else None,
+                error=repr(exc),
+            )
             return None
+        emit("cache.hit", logger=_log, key=key)
+        return payload
+
+    def _quarantine(self, path: Path) -> "Path | None":
+        """Move a corrupt entry aside as ``<name>.corrupt`` (best
+        effort; a file another process already moved is fine)."""
+        quarantined = path.with_suffix(".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            return None
+        return quarantined
 
     def store(self, key: str, payload: dict, params: dict) -> Path:
         """Atomically persist ``payload`` (mapping of array-likes)."""
@@ -100,6 +138,7 @@ class ResultCache:
             with contextlib.suppress(FileNotFoundError):
                 os.unlink(tmp)
             raise
+        emit("cache.store", logger=_log, key=key, bytes=path.stat().st_size)
         return path
 
     # ------------------------------------------------------------------

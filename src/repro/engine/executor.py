@@ -41,13 +41,18 @@ hangs re-spawning them.  Imported library code, pytest and the
 from __future__ import annotations
 
 import contextlib
+import logging
 import multiprocessing
 import os
 import sys
 from multiprocessing.context import BaseContext
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs import emit
+
 __all__ = ["SharedExecutor", "resolve_mp_context", "MP_CONTEXT_ENV"]
+
+_log = logging.getLogger(__name__)
 
 #: Environment variable naming the default start method ("fork",
 #: "spawn" or "forkserver") when no explicit context is passed.
@@ -137,15 +142,42 @@ class SharedExecutor:
         """
         items = list(payloads)
         if self._workers == 1 or len(items) <= 1:
+            emit(
+                "executor.map",
+                logger=_log,
+                items=len(items),
+                workers=self._workers,
+                inline=True,
+            )
             return [func(item) for item in items]
         if self._pool is None:
+            emit(
+                "executor.pool.start",
+                logger=_log,
+                level=logging.INFO,
+                workers=self._workers,
+                start_method=self.start_method,
+            )
             self._pool = self._context.Pool(processes=self._workers)
+        emit(
+            "executor.map",
+            logger=_log,
+            items=len(items),
+            workers=self._workers,
+            inline=False,
+        )
         return self._pool.map(func, items)
 
     def close(self) -> None:
         """Tear down the pool (if any); the executor stays reusable."""
         pool, self._pool = self._pool, None
         if pool is not None:
+            emit(
+                "executor.pool.close",
+                logger=_log,
+                level=logging.INFO,
+                workers=self._workers,
+            )
             pool.terminate()
             pool.join()
 

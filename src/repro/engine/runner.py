@@ -18,11 +18,13 @@ the same spec/model/trials/seed are then free.
 from __future__ import annotations
 
 import functools
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import emit
 from repro.scenarios.sparse import SparseRowBatch
 
 from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
@@ -43,6 +45,8 @@ from .rng import (
 )
 
 __all__ = ["EngineResult", "run_experiment", "EXECUTION_MODES"]
+
+_log = logging.getLogger(__name__)
 
 #: How a run evaluates its blocks.  ``auto`` (the default) prefers a
 #: scenario's sparse emitter and falls back to dense sampling with a
@@ -116,7 +120,7 @@ def _run_trial_range(
     last_trial: int,
     collect_verdicts: bool,
     execution: str = "auto",
-) -> tuple[TrialCounts, "np.ndarray | None"]:
+) -> tuple[TrialCounts, "np.ndarray | None", dict]:
     """Evaluate trials ``[first_trial, last_trial)`` block by block.
 
     Samplers always draw for the whole block and slice, so any partition
@@ -131,11 +135,24 @@ def _run_trial_range(
     verdicts are bit-identical either way (the sparse path is a lossless
     restriction of the dense one to the dirty rows), so this is purely a
     throughput knob, like the worker count.
+
+    The third return value is the shard's telemetry: wall-clock seconds
+    plus per-block dispatch decisions (observational only — it reflects
+    scheduling, never influences it).
     """
+    started = time.perf_counter()
     aggregator = StreamingAggregator()
     collected: list[np.ndarray] = []
     sample_block = getattr(model, "sample_block", None)
+    stats = {
+        "trials": last_trial - first_trial,
+        "blocks": 0,
+        "sparse_blocks": 0,
+        "dense_blocks": 0,
+        "densified_blocks": 0,
+    }
     for piece in iter_block_slices(first_trial, last_trial, block_size):
+        stats["blocks"] += 1
         batch = None
         if execution != "dense":
             batch = _sample_sparse_block(spec, model, seed, piece.block, block_size)
@@ -149,10 +166,12 @@ def _run_trial_range(
                 # (huge n_cells, array-spanning bursts): past the
                 # break-even the dense kernels win, and bit-identity
                 # makes the densify round-trip free of consequence.
+                stats["densified_blocks"] += 1
                 verdicts = run_recovery_batch(
                     spec, sub.densify(), _cached_decoder(spec)
                 )
             else:
+                stats["sparse_blocks"] += 1
                 verdicts = run_recovery_batch_sparse(
                     spec, sub, _cached_packed_decoder(spec)
                 )
@@ -169,11 +188,13 @@ def _run_trial_range(
                 execution == "auto"
                 and row_any.mean() <= SPARSE_DISPATCH_BREAK_EVEN
             ):
+                stats["sparse_blocks"] += 1
                 sub = SparseRowBatch.from_masks(sliced, row_any)
                 verdicts = run_recovery_batch_sparse(
                     spec, sub, _cached_packed_decoder(spec)
                 )
             else:
+                stats["dense_blocks"] += 1
                 verdicts = run_recovery_batch(spec, sliced, _cached_decoder(spec))
         aggregator.update(verdicts)
         if collect_verdicts:
@@ -181,10 +202,11 @@ def _run_trial_range(
     merged = np.concatenate(collected) if collected else None
     if collect_verdicts and merged is None:
         merged = np.zeros(0, dtype=np.uint8)
-    return aggregator.counts, merged
+    stats["elapsed"] = round(time.perf_counter() - started, 6)
+    return aggregator.counts, merged, stats
 
 
-def _worker(payload: tuple) -> tuple[TrialCounts, "np.ndarray | None"]:
+def _worker(payload: tuple) -> tuple[TrialCounts, "np.ndarray | None", dict]:
     return _run_trial_range(*payload)
 
 
@@ -270,6 +292,16 @@ def run_experiment(
         "block_size": block_size,
     }
     key = cache_key(params)
+    emit(
+        "engine.run.start",
+        logger=_log,
+        level=logging.INFO,
+        key=key,
+        n_trials=n_trials,
+        block_size=block_size,
+        execution=execution,
+        workers=executor.workers if executor is not None else n_workers,
+    )
     if cache is not None:
         payload = cache.load(key)
         if payload is not None:
@@ -280,6 +312,15 @@ def run_experiment(
                 pass  # cached without verdicts; fall through and re-run
             else:
                 counts = TrialCounts.from_dict(payload)
+                emit(
+                    "engine.run.finish",
+                    logger=_log,
+                    level=logging.INFO,
+                    key=key,
+                    n_trials=n_trials,
+                    from_cache=True,
+                    elapsed=0.0,
+                )
                 return EngineResult(
                     spec=spec,
                     counts=counts,
@@ -306,7 +347,8 @@ def run_experiment(
 
     aggregator = StreamingAggregator()
     pieces: list[np.ndarray] = []
-    for counts, verdicts in outcomes:
+    for index, (counts, verdicts, stats) in enumerate(outcomes):
+        emit("engine.shard", logger=_log, index=index, **stats)
         aggregator.update(counts)
         if collect_verdicts and verdicts is not None:
             pieces.append(verdicts)
@@ -323,6 +365,16 @@ def run_experiment(
         block_size=block_size,
         elapsed_seconds=elapsed,
         from_cache=False,
+    )
+    emit(
+        "engine.run.finish",
+        logger=_log,
+        level=logging.INFO,
+        key=key,
+        n_trials=n_trials,
+        from_cache=False,
+        elapsed=round(elapsed, 6),
+        trials_per_second=round(result.trials_per_second, 3),
     )
     if cache is not None:
         payload = dict(result.counts.as_dict())

@@ -1,0 +1,52 @@
+"""Run telemetry: structured events, typed counters/timers, module logging.
+
+``repro.obs`` is the observability core the rest of the package reports
+through.  It is deliberately stdlib-only (``logging``, ``contextvars``,
+``time``, ``json``) so instrumentation can live in the hottest modules
+without adding dependencies or import weight.
+
+Two cooperating pieces:
+
+:func:`emit`
+    The one-line instrumentation hook.  Modules call
+    ``emit("engine.run.start", logger=_log, key=..., n_trials=...)``;
+    the event is appended to the active :class:`RunRecorder` (if any)
+    and logged through the module's own logger, so ``python -m repro run
+    -v`` and plain ``logging`` configuration both see the stream.
+
+:class:`RunRecorder`
+    Collects the structured event stream for one run plus typed
+    :class:`Counter`/:class:`Timer` aggregates, fans events out to
+    subscribers (the legacy ``Session.progress`` callback is exactly one
+    such subscriber), and distills everything into a JSON-pure
+    :meth:`~RunRecorder.summary` that
+    :class:`repro.api.Session` attaches to every result as
+    ``meta["telemetry"]``.
+
+The recorder is installed with :func:`use_recorder` (a
+:mod:`contextvars` context manager), so deep engine code needs no
+recorder parameter threaded through — and code running outside any
+recorded run still logs normally and pays one context-variable read.
+
+Telemetry is observational by contract: it never participates in cache
+keys and never lands in ``Result.data``, so recording cannot change any
+result (see DESIGN.md §4).
+"""
+
+from .events import current_recorder, emit, use_recorder
+from .recorder import (
+    TELEMETRY_SCHEMA_VERSION,
+    Counter,
+    RunRecorder,
+    Timer,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "Counter",
+    "RunRecorder",
+    "Timer",
+    "current_recorder",
+    "emit",
+    "use_recorder",
+]

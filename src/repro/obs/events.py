@@ -1,0 +1,119 @@
+"""Event emission: the bridge between instrumented modules and recorders.
+
+An *event* is a flat mapping with an ``event`` name plus free-form
+JSON-pure fields.  :func:`emit` delivers each event twice:
+
+- to the active :class:`~repro.obs.recorder.RunRecorder` (installed via
+  :func:`use_recorder`), where it is timestamped, counted, and kept for
+  the run's telemetry summary;
+- to a standard :mod:`logging` logger (the instrumented module's own,
+  so records carry the ``repro.engine.runner`` / ``repro.engine.cache``
+  / ... hierarchy), making the same stream visible to ``-v`` verbose
+  runs and any ordinary logging configuration.
+
+Emission is cheap when nobody listens: one context-variable read plus
+``Logger.isEnabledFor``.  Instrumentation sits at run/chunk granularity
+(never per trial), so the hot kernels stay untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .recorder import RunRecorder
+
+__all__ = ["current_recorder", "emit", "use_recorder"]
+
+#: The active recorder for this execution context (None outside runs).
+_ACTIVE: "contextvars.ContextVar[RunRecorder | None]" = contextvars.ContextVar(
+    "repro_obs_recorder", default=None
+)
+
+_FALLBACK_LOGGER = logging.getLogger("repro.obs")
+
+
+def current_recorder() -> "RunRecorder | None":
+    """The recorder events are currently being delivered to, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_recorder(recorder: "RunRecorder") -> "Iterator[RunRecorder]":
+    """Install ``recorder`` as the active event sink for this context.
+
+    Nests correctly (the previous recorder is restored on exit) and is
+    task/thread-safe by virtue of :mod:`contextvars`.
+    """
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value to a JSON-pure shape.
+
+    Numpy scalars/arrays are converted through their stdlib protocols
+    (``item``/``tolist``) so :mod:`repro.obs` itself needs no numpy
+    import; unknown objects fall back to ``repr``.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, (bool, int, float, str)):
+        # Scalar subclasses (numpy's float64 *is* a float) normalize to
+        # the exact builtin so telemetry compares bit-for-bit after a
+        # JSON round-trip.
+        item = getattr(value, "item", None)
+        if callable(item):
+            return _jsonable(item())
+        for base in (bool, int, float, str):
+            if isinstance(value, base):
+                return base(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return _jsonable(item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _jsonable(tolist())
+    return repr(value)
+
+
+def emit(
+    event: str,
+    /,
+    *,
+    logger: "logging.Logger | None" = None,
+    level: int = logging.DEBUG,
+    **fields: Any,
+) -> None:
+    """Record one structured event and log it through ``logger``.
+
+    ``event`` is a dotted name (``"engine.run.start"``,
+    ``"cache.hit"``, ...); ``fields`` are JSON-pure (or coercible)
+    details.  Events reach the active recorder regardless of logging
+    configuration; the log line is a compact ``event k=v ...`` render
+    at ``level`` (DEBUG for chatty per-shard events, INFO for run-level
+    milestones, WARNING for trouble like corrupt cache entries).
+    """
+    clean = {key: _jsonable(value) for key, value in fields.items()}
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.record(event, **clean)
+    log = logger if logger is not None else _FALLBACK_LOGGER
+    if log.isEnabledFor(level):
+        rendered = " ".join(f"{key}={_compact(value)}" for key, value in clean.items())
+        log.log(level, "%s%s", event, f" {rendered}" if rendered else "")
+
+
+def _compact(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 120 else text[:117] + "..."

@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import logging
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cmp.config import CmpConfig, ProtectionConfig
+from repro.obs import emit
 from repro.engine.aggregate import MeanEstimate
 from repro.engine.cache import ResultCache, cache_key
 from repro.engine.executor import SharedExecutor
@@ -57,6 +59,8 @@ __all__ = [
 #: Bump when the kernel's semantics change in ways that invalidate
 #: previously cached per-trial results.
 PERF_VERSION = 1
+
+_log = logging.getLogger(__name__)
 
 #: Default trials per RNG block.  Performance trials are heavy (a full
 #: multi-thousand-cycle contention simulation each), so blocks are much
@@ -255,14 +259,18 @@ def _run_trial_range(
     block_size: int,
     first_trial: int,
     last_trial: int,
-) -> dict:
+) -> tuple[dict, dict]:
     """Evaluate trials ``[first_trial, last_trial)`` block by block.
 
     Draws always cover the whole block and are sliced to the requested
     trials, so any partition of the trial space sees identical
     randomness per trial; sliced blocks are then concatenated into
     evaluation groups purely for throughput.
+
+    Returns the per-label field arrays plus the shard's telemetry
+    (wall-clock seconds, trial and block counts — observational only).
     """
+    started = time.perf_counter()
     with_extras = any(p.protect_l2 for p in protections.values())
     per_label: dict[str, list] = {label: [] for label in protections}
     pieces = iter_block_slices(first_trial, last_trial, block_size)
@@ -300,16 +308,22 @@ def _run_trial_range(
         )
         for label, fields in outputs.items():
             per_label[label].append(fields)
-    return {
+    merged = {
         label: {
             name: np.concatenate([chunk[name] for chunk in chunks])
             for name in _RESULT_FIELDS
         }
         for label, chunks in per_label.items()
     }
+    stats = {
+        "trials": last_trial - first_trial,
+        "labels": len(protections),
+        "elapsed": round(time.perf_counter() - started, 6),
+    }
+    return merged, stats
 
 
-def _worker(payload: tuple) -> dict:
+def _worker(payload: tuple) -> tuple[dict, dict]:
     return _run_trial_range(*payload)
 
 
@@ -414,6 +428,18 @@ def run_performance_grid(
         else:
             missing[label] = protection
 
+    emit(
+        "perf.grid.start",
+        logger=_log,
+        level=logging.INFO,
+        cmp=cmp_cfg.name,
+        workload=profile.name,
+        n_trials=n_trials,
+        n_cycles=n_cycles,
+        labels=list(protections),
+        cached_labels=sorted(results),
+        keys=keys,
+    )
     if missing:
         started = time.perf_counter()
         ranges = _chunk_ranges(n_trials, block_size, chunk_blocks, n_workers)
@@ -427,9 +453,11 @@ def run_performance_grid(
             with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
                 outcomes = transient.map(_worker, payloads)
         elapsed = time.perf_counter() - started
+        for index, (_, stats) in enumerate(outcomes):
+            emit("perf.shard", logger=_log, index=index, **stats)
         for label in missing:
             fields = {
-                name: np.concatenate([chunk[label][name] for chunk in outcomes])
+                name: np.concatenate([chunk[label][name] for chunk, _ in outcomes])
                 for name in _RESULT_FIELDS
             }
             results[label] = build(label, fields, elapsed, cached=False)
@@ -442,6 +470,16 @@ def run_performance_grid(
                         n_cycles, n_trials, seed, block_size,
                     ),
                 )
+    emit(
+        "perf.grid.finish",
+        logger=_log,
+        level=logging.INFO,
+        cmp=cmp_cfg.name,
+        workload=profile.name,
+        from_cache=not missing,
+        shards=0 if not missing else len(ranges),
+        elapsed=0.0 if not missing else round(elapsed, 6),
+    )
     return {label: results[label] for label in protections}
 
 

@@ -1,0 +1,48 @@
+"""Self-contained HTML rendering for results and benchmark trends.
+
+``repro.viz`` turns the project's two machine-readable artifacts into
+human-readable, fully self-contained HTML (inline SVG + inline JSON,
+zero external fetches, stdlib only):
+
+:func:`render_report` / :func:`write_report`
+    One :class:`~repro.api.result.Result` → a figure-style report:
+    every series plotted as inline SVG (bars for categorical axes,
+    lines with confidence bands for numeric ones), the full data
+    table, the run's ``meta["telemetry"]`` digest, and spec provenance
+    (content hash included).  The exact result JSON is embedded in a
+    ``<script type="application/json" id="repro-result">`` block, so
+    the report doubles as a lossless carrier of its own data.
+
+:func:`render_trend` / :func:`write_trend`
+    A sequence of benchmark-record directories (committed baselines,
+    fresh CI runs, ...) → a per-metric sparkline trend dashboard with
+    direction-aware regression highlighting against the checked-in
+    tolerance bands (``benchmarks/tolerances.json``).  The ingested
+    numbers are embedded under ``id="repro-bench-trend"``.
+
+:mod:`repro.viz.bench`
+    The shared benchmark-record semantics both the dashboard and the
+    gating ``benchmarks/compare.py`` CI step use: loading/flattening
+    ``BENCH_*.json``, metric direction inference, per-metric tolerance
+    bands, and the comparison itself.
+
+Both renderers are exposed on the CLI as ``python -m repro report`` and
+``python -m repro bench-trend``.
+"""
+
+from .bench import Tolerances, compare_records, direction, flatten, load_bench_dir
+from .report import render_report, write_report
+from .trend import load_runs, render_trend, write_trend
+
+__all__ = [
+    "Tolerances",
+    "compare_records",
+    "direction",
+    "flatten",
+    "load_bench_dir",
+    "load_runs",
+    "render_report",
+    "render_trend",
+    "write_report",
+    "write_trend",
+]

@@ -1,0 +1,195 @@
+"""Render one :class:`~repro.api.result.Result` as self-contained HTML.
+
+The report is a lossless carrier of its own data: the exact
+``result.to_json()`` text is embedded under
+``<script type="application/json" id="repro-result">`` (with ``</``
+escaped), so parsing that block back out reconstructs the Result
+bit-for-bit.  Around it: provenance (spec parameters and content
+hash), every series as an inline-SVG figure with its data table, and
+the run's ``meta["telemetry"]`` digest.
+"""
+
+from __future__ import annotations
+
+import html
+import numbers
+from pathlib import Path
+
+from repro.api.result import Result
+
+from ._page import embed_json, page
+from .svg import bar_chart, line_chart
+
+__all__ = ["render_report", "write_report", "RESULT_JSON_ID"]
+
+#: DOM id of the embedded result JSON block.
+RESULT_JSON_ID = "repro-result"
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _is_numeric_axis(xs) -> bool:
+    return bool(xs) and all(
+        isinstance(v, numbers.Real) and not isinstance(v, bool) for v in xs
+    )
+
+
+def _cards(items: "list[tuple[str, object]]") -> str:
+    cells = "".join(
+        f'<div class="card"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div></div>'
+        for label, value in items
+        if value is not None
+    )
+    return f'<div class="cards">{cells}</div>'
+
+
+def _kv_table(mapping: dict, *, key_head: str = "field", val_head: str = "value") -> str:
+    rows = "".join(
+        f"<tr><td>{_esc(k)}</td><td class=\"num mono\">{_esc(v)}</td></tr>"
+        for k, v in mapping.items()
+    )
+    return (
+        f"<table><thead><tr><th>{_esc(key_head)}</th>"
+        f'<th class="num">{_esc(val_head)}</th></tr></thead>'
+        f"<tbody>{rows}</tbody></table>"
+    )
+
+
+def _series_figure(series) -> str:
+    has_bounds = series.lower is not None and series.upper is not None
+    if _is_numeric_axis(series.x):
+        chart = line_chart(
+            series.x, series.y, title=series.name, units=series.units,
+            lower=series.lower if has_bounds else None,
+            upper=series.upper if has_bounds else None,
+        )
+    else:
+        labels = list(series.x) if series.x else [str(i) for i in range(len(series.y))]
+        chart = bar_chart(
+            labels, series.y, title=series.name, units=series.units,
+            lower=series.lower if has_bounds else None,
+            upper=series.upper if has_bounds else None,
+        )
+    head = "<tr><th>x</th><th class=\"num\">y</th>"
+    if has_bounds:
+        head += '<th class="num">lower</th><th class="num">upper</th>'
+    head += "</tr>"
+    rows = []
+    xs = series.x if series.x else range(len(series.y))
+    for i, (x, y) in enumerate(zip(xs, series.y)):
+        row = f"<td>{_esc(x)}</td><td class=\"num\">{_esc(y)}</td>"
+        if has_bounds:
+            row += (
+                f'<td class="num">{_esc(series.lower[i])}</td>'
+                f'<td class="num">{_esc(series.upper[i])}</td>'
+            )
+        rows.append(f"<tr>{row}</tr>")
+    caption = _esc(series.name) + (f" ({_esc(series.units)})" if series.units else "")
+    return (
+        f"<figure>{chart}<figcaption>{caption}</figcaption></figure>"
+        f"<details><summary>Data table — {caption}</summary>"
+        f"<table><thead>{head}</thead><tbody>{''.join(rows)}</tbody></table>"
+        "</details>"
+    )
+
+
+def _telemetry_section(telemetry: "dict | None") -> str:
+    if not telemetry:
+        return "<h2>Telemetry</h2><p>No telemetry recorded for this run.</p>"
+    parts = ["<h2>Telemetry</h2>"]
+    from_cache = telemetry.get("from_cache")
+    cache_text = {True: "yes (fully cached)", False: "no", None: "n/a"}[from_cache]
+    parts.append(_cards([
+        ("elapsed", f"{telemetry.get('elapsed_seconds', 0)} s"),
+        ("workers", telemetry.get("workers")),
+        ("events", telemetry.get("events")),
+        ("served from cache", cache_text),
+    ]))
+    for section in ("phases", "cache", "engine", "perf", "executor"):
+        block = telemetry.get(section)
+        if not block:
+            continue
+        flat = {
+            k: (", ".join(map(str, v)) if isinstance(v, (list, tuple)) else v)
+            for k, v in (
+                block.items() if isinstance(block, dict) else enumerate(block)
+            )
+            if not isinstance(v, dict)
+        }
+        nested = {
+            k: v for k, v in block.items() if isinstance(v, dict)
+        } if isinstance(block, dict) else {}
+        parts.append(f"<h3>{_esc(section)}</h3>")
+        if flat:
+            parts.append(_kv_table(flat))
+        for name, sub in nested.items():
+            parts.append(_kv_table(sub, key_head=name))
+    counters = telemetry.get("counters")
+    if counters:
+        parts.append("<h3>counters</h3>")
+        parts.append(_kv_table(counters, key_head="counter", val_head="count"))
+    return "".join(parts)
+
+
+def render_report(result: Result) -> str:
+    """The Result as one self-contained HTML document (a string)."""
+    spec = result.spec
+    body = [
+        f"<h1>{_esc(result.experiment)} <span class=\"mono\">({_esc(result.backend)})</span></h1>",
+        f'<p class="subtitle">spec <code>{_esc(result.spec_hash)}</code></p>',
+    ]
+    telemetry = result.telemetry()
+    cards = [
+        ("backend", result.backend),
+        ("series", len(result.series)),
+        ("trials", spec.trials),
+        ("seed", spec.seed),
+    ]
+    if telemetry:
+        cards.append(("elapsed", f"{telemetry.get('elapsed_seconds', 0)} s"))
+    body.append(_cards(cards))
+
+    body.append("<h2>Provenance</h2>")
+    provenance = {
+        "experiment": result.experiment,
+        "backend": result.backend,
+        "spec hash": result.spec_hash,
+    }
+    if spec.trials is not None:
+        provenance["trials"] = spec.trials
+    if spec.seed is not None:
+        provenance["seed"] = spec.seed
+    provenance["confidence"] = spec.confidence
+    for key, value in sorted(spec.param_dict().items()):
+        provenance[f"param {key}"] = value
+    body.append(_kv_table(provenance))
+
+    if result.series:
+        body.append("<h2>Figures</h2>")
+        for series in result.series:
+            body.append(_series_figure(series))
+    else:
+        body.append("<h2>Figures</h2><p>This result carries no series.</p>")
+
+    body.append(_telemetry_section(telemetry))
+
+    body.append("<h2>Embedded data</h2>")
+    body.append(
+        "<p>The exact result JSON is embedded below; "
+        f'parse <code>#{RESULT_JSON_ID}</code> to recover it losslessly.</p>'
+    )
+    body.append(embed_json(RESULT_JSON_ID, result.to_json()))
+    return page(
+        f"{result.experiment} — repro report",
+        "\n".join(body),
+        generator="repro.viz.report",
+    )
+
+
+def write_report(result: Result, path: "Path | str") -> Path:
+    path = Path(path)
+    path.write_text(render_report(result), encoding="utf-8")
+    return path

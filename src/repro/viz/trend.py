@@ -1,0 +1,168 @@
+"""Benchmark trend dashboard: ``BENCH_*.json`` across runs → HTML.
+
+Ingests an ordered sequence of benchmark-record directories — oldest
+first (committed baselines, then progressively newer runs, e.g. the
+fresh CI output) — and renders one sparkline row per metric, grouped
+by benchmark, with direction-aware first→last change and a status
+judged against the checked-in tolerance bands.  Status is always
+arrow + word, never color alone.
+
+The ingested numbers are embedded losslessly under
+``<script type="application/json" id="repro-bench-trend">``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ._page import embed_json, page
+from .bench import Tolerances, direction, load_bench_dir, numeric_metrics
+from .svg import sparkline
+
+__all__ = ["load_runs", "render_trend", "write_trend", "TREND_JSON_ID"]
+
+#: DOM id of the embedded trend JSON block.
+TREND_JSON_ID = "repro-bench-trend"
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def load_runs(directories: "Sequence[Path | str]") -> "list[dict]":
+    """Each directory becomes one trend point: ``{"label", "records"}``.
+
+    Order is significant (oldest first); the directory name is the
+    point's label.  Directories without any ``BENCH_*.json`` still
+    appear (empty records) so a missing benchmark run is visible.
+    """
+    runs = []
+    for directory in directories:
+        path = Path(directory)
+        label = path.resolve().name or str(path)
+        runs.append({"label": label, "records": load_bench_dir(path)})
+    return runs
+
+
+def _fmt(value: "float | None") -> str:
+    if value is None or not math.isfinite(value):
+        return "—"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 1e-3:
+        return f"{value:.2e}"
+    return f"{value:,.4g}"
+
+
+def _status(values: "list[float | None]", metric_id: str, band: float) -> str:
+    """First→last judgment as arrow + word (never color-alone)."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    if len(finite) < 2:
+        return "· single point"
+    first, last = finite[0], finite[-1]
+    change = (last - first) / abs(first) if first else (0.0 if last == 0 else math.inf)
+    sign = direction(metric_id)
+    if sign is None:
+        return f"· shifted {change:+.1%}" if abs(change) > band else "→ steady"
+    bad = (sign == 1 and change < -band) or (sign == -1 and change > band)
+    good = (sign == 1 and change > band) or (sign == -1 and change < -band)
+    if bad:
+        return f"↓ regressed {change:+.1%}"
+    if good:
+        return f"↑ improved {change:+.1%}"
+    return f"→ steady {change:+.1%}"
+
+
+def render_trend(
+    runs: "Sequence[Mapping]", tolerances: "Tolerances | None" = None
+) -> str:
+    """The runs as one self-contained trend dashboard (HTML string)."""
+    tolerances = tolerances or Tolerances()
+    labels = [run["label"] for run in runs]
+    metrics_per_run = [
+        {
+            name: numeric_metrics(record)
+            for name, record in run["records"].items()
+        }
+        for run in runs
+    ]
+    bench_names = sorted({name for per in metrics_per_run for name in per})
+
+    body = [
+        "<h1>Benchmark trends</h1>",
+        f'<p class="subtitle">{len(bench_names)} benchmarks × '
+        f"{len(runs)} runs (oldest → newest): "
+        f"{_esc(' → '.join(labels))}</p>",
+    ]
+    if not bench_names:
+        body.append("<p>No BENCH_*.json records found in any input directory.</p>")
+    for bench in bench_names:
+        metric_keys = sorted({
+            key for per in metrics_per_run for key in per.get(bench, {})
+        })
+        rows = []
+        for key in metric_keys:
+            metric_id = f"{bench}.{key}"
+            values = [per.get(bench, {}).get(key) for per in metrics_per_run]
+            band = tolerances.band_for(metric_id)
+            tooltip = ", ".join(
+                f"{label}: {_fmt(v)}" for label, v in zip(labels, values)
+            )
+            finite = [v for v in values if v is not None and math.isfinite(v)]
+            rows.append(
+                "<tr>"
+                f"<td class=\"mono\">{_esc(key)}</td>"
+                f"<td>{sparkline(values, tooltip=tooltip)}</td>"
+                f"<td class=\"num\">{_fmt(finite[0] if finite else None)}</td>"
+                f"<td class=\"num\">{_fmt(finite[-1] if finite else None)}</td>"
+                f"<td class=\"status\">{_esc(_status(values, metric_id, band))}</td>"
+                f"<td class=\"num\">{band:.0%}</td>"
+                "</tr>"
+            )
+        body.append(f"<h2>{_esc(bench)}</h2>")
+        workloads = {
+            run["records"][bench].get("workload")
+            for run in runs
+            if bench in run["records"]
+        } - {None}
+        if workloads:
+            body.append(
+                f'<p class="subtitle">{_esc("; ".join(sorted(map(str, workloads))))}</p>'
+            )
+        body.append(
+            "<table><thead><tr><th>metric</th><th>trend</th>"
+            '<th class="num">first</th><th class="num">last</th>'
+            '<th>status</th><th class="num">band</th></tr></thead>'
+            f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+
+    body.append("<h2>Embedded data</h2>")
+    body.append(
+        f"<p>The ingested records are embedded under "
+        f"<code>#{TREND_JSON_ID}</code>.</p>"
+    )
+    payload = {
+        "runs": [
+            {"label": run["label"], "records": dict(run["records"])} for run in runs
+        ],
+        "tolerances": {
+            "default": tolerances.default,
+            "metrics": {pattern: band for pattern, band in tolerances.bands},
+        },
+    }
+    body.append(embed_json(TREND_JSON_ID, json.dumps(payload, sort_keys=True)))
+    return page("Benchmark trends — repro", "\n".join(body), generator="repro.viz.trend")
+
+
+def write_trend(
+    runs: "Sequence[Mapping]",
+    path: "Path | str",
+    tolerances: "Tolerances | None" = None,
+) -> Path:
+    path = Path(path)
+    path.write_text(render_trend(runs, tolerances), encoding="utf-8")
+    return path

@@ -43,9 +43,13 @@ class TestRun:
         assert code == 0
         from_cli = Result.from_json(out_path.read_text())
         # Same spec the CLI builds: backend "auto", resolved to monte_carlo
-        # by the trial count.
+        # by the trial count.  Payloads match bit-for-bit; only the
+        # observational meta["telemetry"] block (wall-clock timings)
+        # differs between two independent runs.
         direct = Session().run(ExperimentSpec("fig3.coverage", trials=128, seed=7))
-        assert from_cli == direct
+        assert from_cli.data == direct.data
+        assert from_cli.series == direct.series
+        assert from_cli.spec == direct.spec
         assert from_cli.backend == "monte_carlo"
 
     def test_run_writes_csv(self, capsys, tmp_path):
@@ -99,8 +103,9 @@ class TestRun:
         argv = ["run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q"]
         assert main([*argv, "--scenario", "burst_column", "--output", str(flag_path)]) == 0
         assert main([*argv, "-p", "scenario=burst_column", "--output", str(param_path)]) == 0
-        assert Result.from_json(flag_path.read_text()) == Result.from_json(
-            param_path.read_text()
+        assert (
+            Result.from_json(flag_path.read_text()).without_telemetry()
+            == Result.from_json(param_path.read_text()).without_telemetry()
         )
 
     def test_workers_passthrough_matches_single_worker(self, capsys, tmp_path):
@@ -109,9 +114,10 @@ class TestRun:
         argv = ["run", "fig3.coverage", "--trials", "256", "--seed", "7", "-q"]
         assert main([*argv, "--output", str(serial_path)]) == 0
         assert main([*argv, "--workers", "2", "--output", str(workers_path)]) == 0
-        # Worker count is pure scheduling: byte-identical results.
-        assert Result.from_json(serial_path.read_text()) == Result.from_json(
-            workers_path.read_text()
+        # Worker count is pure scheduling: byte-identical results
+        # (telemetry records the differing schedules, in meta only).
+        assert Result.from_json(serial_path.read_text()).without_telemetry() == (
+            Result.from_json(workers_path.read_text()).without_telemetry()
         )
 
     @pytest.mark.parametrize("count", ["0", "-3"])
@@ -174,6 +180,105 @@ class TestRun:
         ])
         assert code == 1
         assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_telemetry_writes_json_lines(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        code = main([
+            "run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q",
+            "--telemetry", str(path),
+        ])
+        assert code == 0
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        names = [e["event"] for e in events]
+        assert names[0] == "run.start" and names[-1] == "run.finish"
+        assert "engine.run.start" in names
+
+    def test_telemetry_unknown_directory_exits_usage_error(self, capsys, tmp_path):
+        code = main([
+            "run", "fig1.storage", "-q",
+            "--telemetry", str(tmp_path / "missing" / "events.jsonl"),
+        ])
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_verbose_streams_info_telemetry_to_stderr(self, capsys):
+        code = main([
+            "run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q", "-v",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "engine.run.start" in err
+        assert "repro.engine.runner" in err
+
+    def test_without_verbose_stderr_stays_quiet(self, capsys):
+        assert main(["run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q"]) == 0
+        assert "engine.run.start" not in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_renders_saved_result(self, capsys, tmp_path):
+        result_path = tmp_path / "r.json"
+        assert main([
+            "run", "fig3.coverage", "--trials", "64", "--seed", "7", "-q",
+            "--output", str(result_path),
+        ]) == 0
+        assert main(["report", str(result_path)]) == 0
+        html_path = tmp_path / "r.html"
+        assert html_path.is_file()
+        text = html_path.read_text()
+        assert 'id="repro-result"' in text
+        assert "fig3.coverage" in text
+
+    def test_report_output_flag(self, capsys, tmp_path):
+        result_path = tmp_path / "r.json"
+        out_path = tmp_path / "custom.html"
+        main([
+            "run", "fig1.storage", "-q", "--output", str(result_path),
+        ])
+        assert main(["report", str(result_path), "-o", str(out_path)]) == 0
+        assert out_path.is_file()
+
+    def test_report_missing_file_exits_usage_error(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_non_result_file_exits_usage_error(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": "world"}')
+        assert main(["report", str(bogus)]) == 2
+        assert "not a saved Result" in capsys.readouterr().err
+
+
+class TestBenchTrendCommand:
+    def test_bench_trend_renders_directories(self, capsys, tmp_path):
+        bench_dir = tmp_path / "records"
+        bench_dir.mkdir()
+        (bench_dir / "BENCH_toy.json").write_text('{"speedup": 2.0}')
+        out_path = tmp_path / "trend.html"
+        code = main(["bench-trend", str(bench_dir), "-o", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert 'id="repro-bench-trend"' in text
+        assert "toy" in text
+
+    def test_bench_trend_missing_directory_exits_usage_error(self, capsys, tmp_path):
+        code = main(["bench-trend", str(tmp_path / "missing"), "-o", "t.html"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bench_trend_bad_tolerance_file_exits_usage_error(self, capsys, tmp_path):
+        bench_dir = tmp_path / "records"
+        bench_dir.mkdir()
+        bad = tmp_path / "tol.json"
+        bad.write_text("[1, 2, 3]")
+        code = main([
+            "bench-trend", str(bench_dir),
+            "-o", str(tmp_path / "t.html"), "--tolerances", str(bad),
+        ])
+        assert code == 2
+        assert "tolerance" in capsys.readouterr().err
 
 
 @pytest.mark.parametrize("argv", [["list"], ["run", "fig1.storage", "-q"]])

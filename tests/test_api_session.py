@@ -104,7 +104,17 @@ class TestSession:
         entries = len(list((tmp_path / "cache").glob("*.npz")))
         assert entries > 0
         second = Session(cache_dir=tmp_path / "cache").run(spec)
-        assert second == first
+        # The payload is bit-identical; only the observational
+        # meta["telemetry"] block may differ between the fresh run and
+        # the cached re-run.
+        assert second.data == first.data
+        assert second.series == first.series
+        assert second.spec == first.spec
+        first_meta = first.meta_dict()
+        second_meta = second.meta_dict()
+        assert first_meta.pop("telemetry")["from_cache"] is False
+        assert second_meta.pop("telemetry")["from_cache"] is True
+        assert second_meta == first_meta
         assert len(list((tmp_path / "cache").glob("*.npz"))) == entries
 
     def test_run_all(self):

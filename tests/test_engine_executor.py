@@ -167,4 +167,8 @@ class TestSessionOwnership:
     def test_session_runs_match_across_worker_counts(self):
         spec = ExperimentSpec("fig3.coverage", trials=256, seed=12)
         with Session(workers=1) as one, Session(workers=4) as four:
-            assert one.run(spec) == four.run(spec)
+            # Equal modulo meta["telemetry"], which records the (different)
+            # shard schedules; the payloads themselves are bit-identical.
+            assert one.run(spec).without_telemetry() == (
+                four.run(spec).without_telemetry()
+            )

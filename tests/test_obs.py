@@ -1,0 +1,249 @@
+"""Telemetry core: recorder semantics, determinism, fault isolation.
+
+Covers the observational contract end to end: the recorder's
+counter/timer/subscriber behavior in isolation, the engine/cache
+instrumentation (corrupt-entry quarantine), and the Session-level
+guarantees — every run carries ``meta["telemetry"]``, observation never
+changes ``data``, and a broken progress callback cannot kill a run.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, Result, Session
+from repro.engine import ResultCache
+from repro.obs import (
+    TELEMETRY_SCHEMA_VERSION,
+    RunRecorder,
+    current_recorder,
+    emit,
+    use_recorder,
+)
+
+
+class TestRecorder:
+    def test_record_keeps_order_and_auto_counts(self):
+        recorder = RunRecorder()
+        recorder.record("cache.hit", key="k1")
+        recorder.record("cache.hit", key="k2")
+        recorder.record("cache.miss", key="k3")
+        assert [e["event"] for e in recorder.events] == [
+            "cache.hit", "cache.hit", "cache.miss",
+        ]
+        assert recorder.counter("events.cache.hit").value == 2
+        assert recorder.counter("events.cache.miss").value == 1
+
+    def test_timer_accumulates_activations(self):
+        recorder = RunRecorder()
+        for _ in range(3):
+            with recorder.timer("phase"):
+                pass
+        timer = recorder.timer("phase")
+        assert timer.count == 3
+        assert timer.seconds >= 0.0
+        assert recorder.summary()["phases"]["phase"]["count"] == 3
+
+    def test_to_jsonl_is_parseable_event_per_line(self):
+        recorder = RunRecorder()
+        recorder.record("a", x=1)
+        recorder.record("b", y="text")
+        lines = [json.loads(line) for line in recorder.to_jsonl().splitlines()]
+        assert [e["event"] for e in lines] == ["a", "b"]
+        assert all("t" in e for e in lines)
+
+    def test_summary_is_json_pure(self):
+        recorder = RunRecorder()
+        recorder.record("engine.shard", trials=4, blocks=1, elapsed=0.1)
+        summary = recorder.summary()
+        assert summary["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_raising_subscriber_dropped_with_one_warning(self, caplog):
+        recorder = RunRecorder()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("boom")
+
+        recorder.subscribe(broken)
+        recorder.subscribe(seen.append)
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            recorder.record("one")
+            recorder.record("two")
+        warnings = [
+            r for r in caplog.records if "subscriber" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # dropped after the first raise, not re-warned
+        # The healthy subscriber kept receiving everything.
+        assert [e["event"] for e in seen] == ["one", "two"]
+
+
+class TestEmit:
+    def test_emit_without_recorder_is_harmless(self):
+        assert current_recorder() is None
+        emit("orphan.event", value=1)  # must not raise
+
+    def test_use_recorder_scopes_the_ambient_recorder(self):
+        recorder = RunRecorder()
+        with use_recorder(recorder):
+            assert current_recorder() is recorder
+            emit("scoped", n=2)
+        assert current_recorder() is None
+        assert recorder.events[0]["event"] == "scoped"
+
+    def test_emit_coerces_numpy_scalars_to_json_types(self):
+        recorder = RunRecorder()
+        with use_recorder(recorder):
+            emit("np.stuff", count=np.int64(3), ratio=np.float64(0.5),
+                 arr=np.array([1, 2]))
+        event = recorder.events[0]
+        assert event["count"] == 3 and type(event["count"]) is int
+        assert event["ratio"] == 0.5 and type(event["ratio"]) is float
+        assert event["arr"] == [1, 2]
+        json.dumps(event)  # fully serializable
+
+
+class TestCacheCorruptQuarantine:
+    def test_corrupt_entry_warns_and_quarantines(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("deadbeef")
+        path.write_bytes(b"this is not an npz archive")
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            assert cache.load("deadbeef") is None
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        assert len(warnings) == 1
+        assert str(path) in warnings[0].getMessage()
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # Quarantined entries no longer count as cache content.
+        assert len(cache) == 0
+
+    def test_subsequent_load_is_a_plain_miss(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        cache.path_for("deadbeef").write_bytes(b"junk")
+        cache.load("deadbeef")
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            assert cache.load("deadbeef") is None  # miss, not corrupt again
+        assert not [r for r in caplog.records if r.levelno >= logging.WARNING]
+
+    def test_corrupted_session_cache_recomputes_same_data(self, tmp_path):
+        spec = ExperimentSpec("fig3.coverage", trials=64, seed=11)
+        with Session(cache_dir=tmp_path) as session:
+            first = session.run(spec)
+        for entry in tmp_path.glob("*.npz"):
+            entry.write_bytes(b"truncated garbage")
+        with Session(cache_dir=tmp_path) as session:
+            second = session.run(spec)
+        assert second.data == first.data
+        telemetry = second.telemetry()
+        assert telemetry["cache"]["corrupt"] >= 1
+        assert telemetry["from_cache"] is False
+
+
+class TestSessionTelemetry:
+    def test_every_run_carries_telemetry_meta(self):
+        result = Session().run(ExperimentSpec("fig3.coverage", trials=64, seed=3))
+        telemetry = result.telemetry()
+        assert telemetry["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert telemetry["workers"] == 1
+        assert telemetry["engine"]["runs"] >= 1
+        assert telemetry["engine"]["trials"] >= 64
+        assert telemetry["phases"]["execute"]["count"] == 1
+        assert telemetry["elapsed_seconds"] > 0
+
+    def test_analytical_run_has_telemetry_with_no_cache_work(self):
+        result = Session().run(ExperimentSpec("fig1.storage"))
+        telemetry = result.telemetry()
+        assert telemetry["from_cache"] is None
+        assert telemetry["engine"]["runs"] == 0
+
+    def test_telemetry_survives_result_json_round_trip(self):
+        result = Session().run(ExperimentSpec("fig3.coverage", trials=64, seed=3))
+        restored = Result.from_json(result.to_json())
+        assert restored == result
+        assert restored.telemetry() == result.telemetry()
+
+    def test_cached_rerun_bit_identical_data_only_telemetry_differs(self, tmp_path):
+        spec = ExperimentSpec("fig3.coverage", trials=128, seed=5)
+        with Session(cache_dir=tmp_path) as session:
+            first = session.run(spec)
+            second = session.run(spec)
+        assert second.data == first.data
+        assert second.series == first.series
+        assert second.without_telemetry() == first.without_telemetry()
+        assert first.telemetry()["from_cache"] is False
+        assert second.telemetry()["from_cache"] is True
+        assert second.telemetry()["cache"]["hits"] >= 1
+        assert second.telemetry()["cache"]["misses"] == 0
+
+    def test_worker_count_changes_schedule_not_results_or_keys(self):
+        spec = ExperimentSpec("fig3.coverage", trials=256, seed=9)
+        with Session(workers=1) as serial, Session(workers=4) as parallel:
+            one = serial.run(spec)
+            four = parallel.run(spec)
+        assert one.without_telemetry() == four.without_telemetry()
+        t1, t4 = one.telemetry(), four.telemetry()
+        assert t1["engine"]["trials"] == t4["engine"]["trials"]
+        assert t1["engine"]["cache_keys"] == t4["engine"]["cache_keys"]
+        assert t1["workers"] == 1 and t4["workers"] == 4
+        # The parallel run actually sharded the work.
+        assert t4["engine"]["shards"] >= t1["engine"]["shards"]
+
+    def test_last_telemetry_exposes_raw_event_stream(self):
+        session = Session()
+        assert session.last_telemetry is None
+        session.run(ExperimentSpec("fig3.coverage", trials=64, seed=3))
+        events = [
+            json.loads(line)
+            for line in session.last_telemetry.to_jsonl().splitlines()
+        ]
+        names = [e["event"] for e in events]
+        assert names[0] == "run.start" and names[-1] == "run.finish"
+        assert "engine.run.start" in names
+        assert "engine.shard" in names
+
+
+class TestProgressFaultIsolation:
+    def test_broken_progress_callback_is_dropped_not_fatal(self, caplog):
+        calls = []
+
+        def broken(event):
+            calls.append(event)
+            raise RuntimeError("observer bug")
+
+        session = Session(progress=broken)
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            result = session.run(ExperimentSpec("fig3.coverage", trials=64, seed=3))
+        # The run survived and produced a normal result.
+        assert result.telemetry() is not None
+        # The callback fired once (start), raised, and was dropped.
+        assert len(calls) == 1
+        assert calls[0]["event"] == "start"
+        warnings = [
+            r for r in caplog.records if "subscriber" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_healthy_progress_callback_still_gets_legacy_events(self):
+        events = []
+        session = Session(progress=events.append)
+        session.run(ExperimentSpec("fig3.coverage", trials=64, seed=3))
+        assert [e["event"] for e in events] == ["start", "finish"]
+        assert events[1]["elapsed"] > 0
+        assert events[0]["experiment"] == "fig3.coverage"
+
+    def test_failed_run_still_delivers_finish_with_error(self):
+        events = []
+        session = Session(progress=events.append)
+        with pytest.raises(Exception):
+            session.run(ExperimentSpec(
+                "sweep.mc_coverage", trials=8, seed=1, params={"scheme": "bogus"}
+            ))
+        assert [e["event"] for e in events] == ["start", "finish"]
+        assert "error" in events[1]
