@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Four subcommands:
+Six subcommands:
 
 ``list``
     Enumerate every registered experiment with its backends, defaults
@@ -34,11 +34,27 @@ Four subcommands:
     (default: the checked-in ``benchmarks/tolerances.json`` when
     present).
 
+``serve``
+    Run the long-lived experiment service (:mod:`repro.service`):
+    HTTP+JSON submissions with single-flight dedup, an asyncio worker
+    pool over one shared session, and a TTL'd result store.
+    ``--host/--port/--workers/--ttl`` configure it; SIGINT/SIGTERM
+    drain in-flight jobs and shut down gracefully (a second signal
+    cancels queued work).  Example::
+
+        python -m repro serve --port 8765 --workers 4 --ttl 3600
+
+``cache``
+    Inspect (``--json``) or prune (``--prune --ttl S / --max-bytes N``,
+    mtime-LRU) the on-disk engine result cache.
+
 Exit status: 0 on success, 2 on usage errors (including unknown
 experiment names, unknown scenarios, non-positive ``--workers`` counts
-and nonexistent ``report``/``bench-trend``/``--telemetry`` paths),
-1 on execution failures.  ``--workers N`` fans Monte Carlo runs out
-over the session's persistent worker pool.
+and nonexistent ``report``/``bench-trend``/``cache``/``--telemetry``
+paths), 1 on execution failures.  ``--workers N`` fans Monte Carlo
+runs out over the session's persistent worker pool; bare ``--json``
+(no PATH) prints the full Result JSON to stdout with the summary table
+suppressed.
 """
 
 from __future__ import annotations
@@ -114,7 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(shorthand for -p scenario=NAME; see repro.scenarios)",
     )
     runner.add_argument(
-        "--json", metavar="PATH", help="write the Result as JSON ('-' for stdout)"
+        "--json",
+        metavar="PATH",
+        nargs="?",
+        const="-",
+        help="write the Result as JSON; with no PATH (or '-') print the "
+        "full Result JSON to stdout",
     )
     runner.add_argument(
         "--csv", metavar="PATH", help="write the Result as CSV ('-' for stdout)"
@@ -176,6 +197,97 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="per-metric tolerance bands JSON "
         "(default: benchmarks/tolerances.json when present)",
+    )
+
+    server = sub.add_parser(
+        "serve",
+        help="run the async experiment service (HTTP+JSON, dedup queue, "
+        "TTL'd result store)",
+    )
+    server.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    server.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (default: 8765; 0 picks a free port)",
+    )
+    server.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent job executions (default: 2)",
+    )
+    server.add_argument(
+        "--engine-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker processes of the shared session (default: 1)",
+    )
+    server.add_argument(
+        "--ttl",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="result-store TTL in seconds (default: 3600; 0 disables expiry)",
+    )
+    server.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="max queued jobs before submissions get 429 (default: 1024)",
+    )
+    server.add_argument(
+        "--job-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="default per-attempt job timeout (default: unbounded)",
+    )
+    server.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="engine result cache + persisted result store directory "
+        "(memory-only when omitted)",
+    )
+    server.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="stream INFO-level service/engine telemetry to stderr",
+    )
+
+    cacher = sub.add_parser(
+        "cache", help="inspect or prune the on-disk engine result cache"
+    )
+    cacher.add_argument(
+        "--dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="cache directory (default: .repro-cache)",
+    )
+    cacher.add_argument(
+        "--prune",
+        action="store_true",
+        help="evict entries per --ttl/--max-bytes (mtime-LRU)",
+    )
+    cacher.add_argument(
+        "--ttl",
+        type=float,
+        metavar="SECONDS",
+        help="with --prune: evict entries older than SECONDS",
+    )
+    cacher.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="with --prune: evict oldest entries until the cache fits N bytes",
+    )
+    cacher.add_argument(
+        "--json", action="store_true", help="emit stats as JSON"
     )
     return parser
 
@@ -286,6 +398,126 @@ def _cmd_bench_trend(args) -> int:
     return 0
 
 
+def _verbose_telemetry_handler() -> "tuple[logging.Logger, logging.Handler]":
+    """Attach an INFO stderr handler to the ``repro`` logger tree."""
+    repro_logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    repro_logger.addHandler(handler)
+    if repro_logger.level == logging.NOTSET or repro_logger.level > logging.INFO:
+        repro_logger.setLevel(logging.INFO)
+    return repro_logger, handler
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ExperimentService, serve_forever
+
+    if args.workers < 1:
+        print(
+            f"error: --workers must be a positive count, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine_workers < 1:
+        print(
+            "error: --engine-workers must be a positive count, "
+            f"got {args.engine_workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.queue_capacity < 1:
+        print(
+            "error: --queue-capacity must be positive, "
+            f"got {args.queue_capacity}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ttl < 0:
+        print(f"error: --ttl must be >= 0, got {args.ttl}", file=sys.stderr)
+        return 2
+    if not (0 <= args.port <= 65535):
+        print(f"error: --port must be 0-65535, got {args.port}", file=sys.stderr)
+        return 2
+
+    logger = handler = None
+    if args.verbose:
+        logger, handler = _verbose_telemetry_handler()
+
+    service = ExperimentService(
+        workers=args.workers,
+        engine_workers=args.engine_workers,
+        queue_capacity=args.queue_capacity,
+        ttl_seconds=args.ttl or None,  # 0 disables expiry
+        job_timeout=args.job_timeout,
+        cache_dir=args.cache_dir,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            f"(workers={args.workers}, ttl={args.ttl}s) — Ctrl-C to drain "
+            "and exit",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(
+                service, host=args.host, port=args.port, on_ready=announce
+            )
+        )
+    except OSError as exc:  # bind failures: address in use, bad host
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        if handler is not None:
+            logger.removeHandler(handler)
+    print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.engine import ResultCache
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"error: cache directory {root} not found", file=sys.stderr)
+        return 2
+    if (args.ttl is not None or args.max_bytes is not None) and not args.prune:
+        print("error: --ttl/--max-bytes require --prune", file=sys.stderr)
+        return 2
+    if args.prune and args.ttl is None and args.max_bytes is None:
+        print("error: --prune needs --ttl and/or --max-bytes", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+    pruned = 0
+    if args.prune:
+        pruned = cache.prune(ttl_seconds=args.ttl, max_bytes=args.max_bytes)
+    stats = cache.stats()
+    if args.json:
+        payload = {"dir": str(root), **stats}
+        if args.prune:
+            payload["pruned"] = pruned
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(f"cache dir:   {root}")
+    print(f"entries:     {stats['entries']}")
+    print(f"total bytes: {stats['total_bytes']}")
+    if stats["oldest_mtime"] is not None:
+        import datetime
+
+        oldest = datetime.datetime.fromtimestamp(stats["oldest_mtime"])
+        print(f"oldest:      {oldest.isoformat(timespec='seconds')}")
+    if args.prune:
+        print(f"pruned:      {pruned}")
+    return 0
+
+
 def _cmd_run(args) -> int:
     verbose_handler = None
     repro_logger = logging.getLogger("repro")
@@ -318,13 +550,7 @@ def _cmd_run(args) -> int:
             params=params,
         )
         if args.verbose:
-            verbose_handler = logging.StreamHandler(sys.stderr)
-            verbose_handler.setFormatter(
-                logging.Formatter("%(name)s: %(message)s")
-            )
-            repro_logger.addHandler(verbose_handler)
-            if repro_logger.level == logging.NOTSET or repro_logger.level > logging.INFO:
-                repro_logger.setLevel(logging.INFO)
+            repro_logger, verbose_handler = _verbose_telemetry_handler()
         with Session(workers=args.workers, cache_dir=args.cache_dir) as session:
             result = session.run(spec)
             telemetry_jsonl = (
@@ -342,7 +568,10 @@ def _cmd_run(args) -> int:
         if verbose_handler is not None:
             repro_logger.removeHandler(verbose_handler)
 
-    if not args.quiet:
+    # A payload aimed at stdout must *be* the stdout: suppress the
+    # human summary so `python -m repro run ... --json | jq .` works.
+    stdout_payload = "-" in (args.json, args.csv, args.output)
+    if not args.quiet and not stdout_payload:
         _print_summary(result, sys.stdout)
     if args.json:
         _write(args.json, result.to_json(indent=2))
@@ -367,6 +596,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _cmd_report(args)
     if args.command == "bench-trend":
         return _cmd_bench_trend(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_run(args)
 
 

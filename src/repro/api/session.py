@@ -23,6 +23,7 @@ and returns a serializable :class:`~repro.api.result.Result`.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -211,6 +212,26 @@ class Session:
         self._mp_context = mp_context
         self._executor = None
         self._last_recorder: "RunRecorder | None" = None
+        # Lifetime run counters.  The experiment service drives one
+        # session from several worker threads, so these are guarded by
+        # a lock (the executor's pool guards itself the same way).
+        self._counter_lock = threading.Lock()
+        self._runs_started = 0
+        self._runs_completed = 0
+
+    @property
+    def runs_started(self) -> int:
+        """Number of :meth:`run` calls that began executing (lifetime)."""
+        return self._runs_started
+
+    @property
+    def runs_completed(self) -> int:
+        """Number of :meth:`run` calls that returned a result (lifetime).
+
+        ``runs_started - runs_completed`` is the in-flight/failed gap;
+        the service uses these to prove dedup coalescing (N submissions
+        of one spec bump them exactly once)."""
+        return self._runs_completed
 
     @property
     def last_telemetry(self) -> "RunRecorder | None":
@@ -316,6 +337,8 @@ class Session:
             workers=self.workers,
             cached=self._cache_dir is not None,
         )
+        with self._counter_lock:
+            self._runs_started += 1
         started = time.perf_counter()
         try:
             with use_recorder(recorder), recorder.timer("execute"):
@@ -333,6 +356,8 @@ class Session:
         recorder.record(
             "run.finish", **info, elapsed=round(time.perf_counter() - started, 6)
         )
+        with self._counter_lock:
+            self._runs_completed += 1
         # Telemetry rides in meta only: the data/series payloads (and
         # any cache keys derived from the spec) stay bit-identical
         # whether or not anyone is watching.

@@ -12,8 +12,9 @@ per-trial verdict array, and the human-readable key parameters (for
 debugging with ``numpy.load`` directly).  Writes go through a temp file
 plus ``os.replace`` so a crashed run never leaves a truncated entry.
 
-Every lookup and store emits a telemetry event (``cache.hit`` /
-``cache.miss`` / ``cache.store`` / ``cache.corrupt``) through
+Every lookup, store and eviction emits a telemetry event (``cache.hit``
+/ ``cache.miss`` / ``cache.store`` / ``cache.corrupt`` /
+``cache.evict``) through
 :func:`repro.obs.emit`, so any run under a
 :class:`~repro.obs.RunRecorder` gets hit/miss accounting for free.  A
 corrupt entry is *not* silently a miss: it is logged at WARNING with
@@ -28,6 +29,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 import zipfile
 from pathlib import Path
 
@@ -140,6 +142,87 @@ class ResultCache:
             raise
         emit("cache.store", logger=_log, key=key, bytes=path.stat().st_size)
         return path
+
+    # ------------------------------------------------------------------
+    # Maintenance: stats and TTL / size-bounded eviction
+    # ------------------------------------------------------------------
+    def _entries(self) -> "list[tuple[Path, float, int]]":
+        """Every live entry as ``(path, mtime, size_bytes)``, oldest
+        first.  An entry another process removes mid-scan is skipped."""
+        entries = []
+        for path in self._root.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path, stat.st_mtime, stat.st_size))
+        entries.sort(key=lambda item: item[1])
+        return entries
+
+    def stats(self) -> dict:
+        """Shape of the cache directory: entry count, total bytes and
+        the oldest entry's mtime (epoch seconds; ``None`` when empty)."""
+        entries = self._entries()
+        return {
+            "entries": len(entries),
+            "total_bytes": sum(size for _, _, size in entries),
+            "oldest_mtime": entries[0][1] if entries else None,
+        }
+
+    def prune(
+        self,
+        ttl_seconds: "float | None" = None,
+        max_bytes: "int | None" = None,
+    ) -> int:
+        """Evict stale and/or excess entries; returns the number removed.
+
+        Two independent policies, applied in order:
+
+        - ``ttl_seconds``: every entry whose mtime is older than the TTL
+          is removed (age is measured against the current wall clock).
+        - ``max_bytes``: if the surviving entries still exceed the byte
+          budget, the oldest-mtime entries are removed first (LRU by
+          mtime — :meth:`store` rewrites give an entry a fresh mtime)
+          until the total fits.
+
+        Each eviction emits a ``cache.evict`` telemetry event with the
+        entry's key, size and the policy that claimed it.  Passing
+        neither bound is a no-op.
+        """
+        removed = 0
+        entries = self._entries()
+        if ttl_seconds is not None:
+            cutoff = time.time() - ttl_seconds
+            survivors = []
+            for path, mtime, size in entries:
+                if mtime < cutoff:
+                    removed += self._evict(path, size, reason="ttl")
+                else:
+                    survivors.append((path, mtime, size))
+            entries = survivors
+        if max_bytes is not None:
+            total = sum(size for _, _, size in entries)
+            for path, _, size in entries:  # oldest first
+                if total <= max_bytes:
+                    break
+                removed += self._evict(path, size, reason="max_bytes")
+                total -= size
+        return removed
+
+    def _evict(self, path: Path, size: int, *, reason: str) -> int:
+        """Remove one entry (best effort under concurrent pruners)."""
+        try:
+            path.unlink()
+        except OSError:
+            return 0
+        emit(
+            "cache.evict",
+            logger=_log,
+            key=path.stem,
+            bytes=size,
+            reason=reason,
+        )
+        return 1
 
     # ------------------------------------------------------------------
     def clear(self) -> int:

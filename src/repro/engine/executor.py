@@ -40,11 +40,13 @@ hangs re-spawning them.  Imported library code, pytest and the
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import logging
 import multiprocessing
 import os
 import sys
+import threading
 from multiprocessing.context import BaseContext
 from typing import Any, Callable, Iterable, Sequence
 
@@ -114,6 +116,12 @@ class SharedExecutor:
         self._workers = workers
         self._context = resolve_mp_context(mp_context)
         self._pool = None
+        # Pool lifecycle is guarded by a lock: the experiment service
+        # drives one executor from several threads, so pool creation and
+        # close() must be race-free (and close() idempotent under
+        # concurrent callers).
+        self._lock = threading.Lock()
+        self._atexit_registered = False
 
     # ------------------------------------------------------------------
     @property
@@ -150,15 +158,25 @@ class SharedExecutor:
                 inline=True,
             )
             return [func(item) for item in items]
-        if self._pool is None:
-            emit(
-                "executor.pool.start",
-                logger=_log,
-                level=logging.INFO,
-                workers=self._workers,
-                start_method=self.start_method,
-            )
-            self._pool = self._context.Pool(processes=self._workers)
+        with self._lock:
+            if self._pool is None:
+                emit(
+                    "executor.pool.start",
+                    logger=_log,
+                    level=logging.INFO,
+                    workers=self._workers,
+                    start_method=self.start_method,
+                )
+                self._pool = self._context.Pool(processes=self._workers)
+                if not self._atexit_registered:
+                    # Worker processes must never outlive an owner that
+                    # exits without close(): the hook reaps them at
+                    # interpreter shutdown (and is unregistered again
+                    # once close() has run, so closed executors don't
+                    # pile up references in the atexit table).
+                    atexit.register(self.close)
+                    self._atexit_registered = True
+            pool = self._pool
         emit(
             "executor.map",
             logger=_log,
@@ -166,11 +184,20 @@ class SharedExecutor:
             workers=self._workers,
             inline=False,
         )
-        return self._pool.map(func, items)
+        return pool.map(func, items)
 
     def close(self) -> None:
-        """Tear down the pool (if any); the executor stays reusable."""
-        pool, self._pool = self._pool, None
+        """Tear down the pool (if any); the executor stays reusable.
+
+        Idempotent and safe under concurrent callers: exactly one
+        caller tears the pool down, the rest return immediately.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if self._atexit_registered:
+                with contextlib.suppress(Exception):  # interpreter teardown
+                    atexit.unregister(self.close)
+                self._atexit_registered = False
         if pool is not None:
             emit(
                 "executor.pool.close",

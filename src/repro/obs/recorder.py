@@ -140,6 +140,16 @@ class RunRecorder:
             self._counters[name] = Counter(name)
         return self._counters[name]
 
+    def counter_values(self, prefix: str = "") -> "dict[str, int]":
+        """Snapshot of counter values, optionally filtered by prefix
+        (e.g. ``"events.service."`` for the experiment service's own
+        event counts)."""
+        return {
+            name: counter.value
+            for name, counter in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     def incr(self, name: str, n: int = 1) -> int:
         return self.counter(name).add(n)
 

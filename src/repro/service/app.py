@@ -1,0 +1,367 @@
+"""The experiment service: submissions in, deduplicated results out.
+
+:class:`ExperimentService` composes the service's pieces around one
+shared :class:`~repro.api.session.Session` (hence one persistent
+:class:`~repro.engine.executor.SharedExecutor` and one engine
+:class:`~repro.engine.cache.ResultCache`):
+
+- a :class:`~repro.service.queue.JobQueue` admitting specs with
+  priorities, bounded capacity, and single-flight dedup by
+  ``content_hash()``;
+- a :class:`~repro.service.workers.WorkerPool` running jobs on the
+  session via ``asyncio.to_thread`` with timeout/retry/cancellation;
+- a :class:`~repro.service.store.ResultStore` serving completed
+  results by hash with TTL'd eviction.
+
+A submission takes the cheapest path available::
+
+    store hit  ->  a synthetic done job, no queue, no engine
+    in flight  ->  attach to the existing job (dedup coalesce)
+    otherwise  ->  a new queued job (429 when the queue is full)
+
+Every stage emits ``service.*`` telemetry into the service's
+long-lived :class:`~repro.obs.RunRecorder` (installed as the ambient
+recorder for the service's whole life), while each job's engine run
+still gets its own per-run recorder inside ``Session.run`` — so
+``GET /stats`` sees the service and every ``Result`` still carries its
+own ``meta["telemetry"]``.
+
+The service is asyncio-single-threaded at the control plane: submit,
+job lookup, stats and shutdown all run on the event loop; only the
+blocking engine work leaves it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.api.registry import get_experiment
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.obs import RunRecorder, emit, use_recorder
+
+from .queue import Job, JobQueue
+from .store import ResultStore
+from .workers import WorkerPool
+
+__all__ = ["ExperimentService"]
+
+_log = logging.getLogger(__name__)
+
+#: Terminal jobs older than this many TTL sweeps are dropped from the
+#: id registry (their results live on in the store).
+_HISTORY_LIMIT = 10_000
+
+
+class ExperimentService:
+    """Long-running, deduplicating front end over one shared session.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent job executions (asyncio worker tasks).
+    engine_workers:
+        Process count of the shared session's engine executor.
+    queue_capacity:
+        Bound on queued (not yet running) jobs; hit -> 429.
+    ttl_seconds:
+        Result-store TTL (also forwarded to the engine cache's prune
+        during housekeeping sweeps).
+    job_timeout:
+        Default per-attempt execution timeout (``None`` = unbounded).
+    max_retries / retry_backoff:
+        Transient-failure retry policy (see
+        :class:`~repro.service.workers.WorkerPool`).
+    cache_dir:
+        Engine result-cache directory for the shared session; also the
+        parent of the store's disk mirror (``<cache_dir>/results/``).
+        ``None`` keeps both layers memory-only.
+    session:
+        Inject a pre-built session (tests); otherwise one is created
+        and owned (closed on :meth:`stop`).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        engine_workers: int = 1,
+        queue_capacity: int = 1024,
+        ttl_seconds: "float | None" = 3600.0,
+        job_timeout: "float | None" = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        transient: "tuple[type[BaseException], ...]" = (ConnectionError, OSError),
+        cache_dir: "str | Path | None" = None,
+        session: "Session | None" = None,
+        mp_context=None,
+    ):
+        self.recorder = RunRecorder()
+        self._owns_session = session is None
+        self.session = session or Session(
+            workers=engine_workers, cache_dir=cache_dir, mp_context=mp_context
+        )
+        store_root = (
+            Path(cache_dir) / "results" if cache_dir is not None else None
+        )
+        self.store = ResultStore(
+            ttl_seconds=ttl_seconds,
+            root=store_root,
+            engine_cache=self.session.cache,
+        )
+        self.queue = JobQueue(capacity=queue_capacity)
+        self.pool = WorkerPool(
+            self.queue,
+            self._execute,
+            workers=workers,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            transient=transient,
+            on_success=self._on_success,
+        )
+        self._jobs: "dict[str, Job]" = {}
+        self._synthetic = 0  # store-served submissions (no queue entry)
+        self._housekeeper: "asyncio.Task | None" = None
+        self._recorder_scope = None
+        self._started = False
+        self._started_at: "float | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Install the service recorder, spawn workers and housekeeping."""
+        if self._started:
+            return
+        self._started = True
+        self._started_at = time.time()
+        # The ambient recorder for everything the loop thread emits;
+        # tasks created below inherit it through their contextvars copy.
+        self._recorder_scope = use_recorder(self.recorder)
+        self._recorder_scope.__enter__()
+        emit(
+            "service.start",
+            logger=_log,
+            level=logging.INFO,
+            workers=self.pool.workers,
+            engine_workers=self.session.workers,
+            queue_capacity=self.queue.capacity,
+            ttl_seconds=self.store.ttl_seconds,
+        )
+        self.pool.start()
+        interval = (
+            min(max(self.store.ttl_seconds / 4.0, 1.0), 60.0)
+            if self.store.ttl_seconds is not None
+            else 60.0
+        )
+        self._housekeeper = asyncio.get_running_loop().create_task(
+            self._housekeeping(interval), name="repro-service-housekeeping"
+        )
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Shut down: close admission, settle work, release the engine.
+
+        ``drain=True`` (graceful) lets workers finish everything already
+        admitted — running *and* queued — before exiting; ``drain=False``
+        cancels queued jobs and only waits out the running ones.
+        """
+        if not self._started:
+            return
+        emit(
+            "service.stop",
+            logger=_log,
+            level=logging.INFO,
+            drain=drain,
+            queued=self.queue.depth,
+            active=self.pool.active,
+        )
+        self.queue.close()
+        if not drain:
+            self.queue.cancel_pending()
+        await self.pool.join()
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._housekeeper
+            self._housekeeper = None
+        if self._owns_session:
+            self.session.close()
+        if self._recorder_scope is not None:
+            try:
+                self._recorder_scope.__exit__(None, None, None)
+            except ValueError:
+                # stop() ran in a different task than start(): that
+                # task's context copy dies with it, so there is nothing
+                # to restore here.
+                pass
+            self._recorder_scope = None
+        self._started = False
+
+    async def _housekeeping(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            evicted = self.store.sweep()
+            self._trim_history()
+            if evicted:
+                emit(
+                    "service.sweep",
+                    logger=_log,
+                    evicted=evicted,
+                    store_entries=len(self.store),
+                )
+
+    def _trim_history(self) -> None:
+        """Cap the job-id registry; only terminal jobs are dropped."""
+        excess = len(self._jobs) - _HISTORY_LIMIT
+        if excess <= 0:
+            return
+        for job_id in [
+            jid for jid, job in self._jobs.items() if job.done
+        ][:excess]:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------
+    # Submission / lookup
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        *,
+        priority: int = 0,
+        timeout: "float | None" = None,
+    ) -> "tuple[Job, str]":
+        """Admit one spec; returns ``(job, via)``.
+
+        ``via`` says which path served it: ``"store"`` (already
+        completed, synthetic done job), ``"coalesced"`` (attached to an
+        in-flight job) or ``"queued"`` (new work).  Unknown experiment
+        names raise :class:`~repro.api.registry.UnknownExperimentError`
+        here, at admission, not inside a worker; a full queue raises
+        :class:`~repro.service.queue.QueueFullError`.
+        """
+        get_experiment(spec.experiment)  # admission-time validation
+        spec_hash = spec.content_hash()
+        emit(
+            "service.submit",
+            logger=_log,
+            hash=spec_hash,
+            experiment=spec.experiment,
+            priority=priority,
+        )
+        stored = self.store.get(spec_hash)
+        if stored is not None:
+            job = self._synthetic_job(spec, stored)
+            return job, "store"
+        job, deduped = self.queue.submit(
+            spec, priority=priority, timeout=timeout
+        )
+        if deduped:
+            self.store.note_coalesced()
+            emit(
+                "service.dedup_hit",
+                logger=_log,
+                hash=spec_hash,
+                job=job.id,
+                submissions=job.submissions,
+            )
+        else:
+            self._jobs[job.id] = job
+        return job, "coalesced" if deduped else "queued"
+
+    def _synthetic_job(self, spec: ExperimentSpec, result) -> Job:
+        """A pre-completed job wrapping a store hit (keeps the job API
+        uniform: every submission yields an awaitable job)."""
+        self._synthetic += 1
+        job = Job(f"s{self._synthetic:06d}", spec)
+        job.from_store = True
+        job.mark_running()
+        job.resolve(result)
+        self._jobs[job.id] = job
+        return job
+
+    def job(self, job_id: str) -> "Optional[Job]":
+        return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> "Optional[bool]":
+        """Cancel by id: ``None`` unknown, else the queue's verdict."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        if job.done:
+            return False
+        return self.queue.cancel(job)
+
+    # ------------------------------------------------------------------
+    # Execution (worker thread + loop-side success hook)
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job):
+        """Blocking engine run (called from a worker thread)."""
+        return self.session.run(job.spec)
+
+    def _on_success(self, job: Job, result) -> None:
+        """Store the result before the job resolves (event loop)."""
+        self.store.put(result)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload: queue, jobs, store, session."""
+        states: "dict[str, int]" = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        counters = self.recorder.counter_values("events.service.")
+        return {
+            "uptime_seconds": (
+                round(time.time() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.capacity,
+                "submitted": self.queue.submitted,
+                "coalesced": self.queue.coalesced,
+                "closed": self.queue.closed,
+            },
+            "jobs": {
+                "tracked": len(self._jobs),
+                "active": self.pool.active,
+                "executed": self.pool.executed,
+                "from_store": self._synthetic,
+                "by_state": states,
+            },
+            "dedup": {
+                "hits": self.queue.coalesced,
+                "store_hits": self.store.hits,
+            },
+            "store": self.store.stats(),
+            "session": {
+                "engine_workers": self.session.workers,
+                "runs_started": self.session.runs_started,
+                "runs_completed": self.session.runs_completed,
+            },
+            "service_events": counters,
+        }
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok" if self._started else "stopped",
+            "uptime_seconds": (
+                round(time.time() - self._started_at, 3)
+                if self._started_at is not None
+                else None
+            ),
+            "workers": self.pool.workers,
+            "queue_depth": self.queue.depth,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentService(workers={self.pool.workers}, "
+            f"queue={self.queue!r}, store={self.store!r})"
+        )

@@ -1,0 +1,90 @@
+"""Process-level service runner: build, bind, serve, drain, exit.
+
+:func:`serve_forever` is what ``python -m repro serve`` executes: it
+starts an :class:`~repro.service.app.ExperimentService` and a
+:class:`~repro.service.server.ServiceServer`, installs SIGINT/SIGTERM
+handlers, and on the first signal performs a **graceful** shutdown —
+stop accepting connections, close the queue to new submissions, let
+the workers drain everything already admitted, then release the shared
+executor.  A second signal escalates to a fast shutdown (queued jobs
+are cancelled; only running ones are awaited).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import signal
+from typing import Callable
+
+from .app import ExperimentService
+from .server import ServiceServer
+
+__all__ = ["serve_forever"]
+
+_log = logging.getLogger(__name__)
+
+
+async def serve_forever(
+    service: ExperimentService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    on_ready: "Callable[[ServiceServer], None] | None" = None,
+    shutdown: "asyncio.Event | None" = None,
+) -> ServiceServer:
+    """Run the service until SIGINT/SIGTERM (or ``shutdown`` is set).
+
+    ``on_ready`` fires once the socket is bound (with the resolved
+    port — useful with ``port=0``); ``shutdown`` lets embedders and
+    tests request the same graceful path a signal takes.  Returns the
+    (stopped) server for inspection.
+    """
+    stop_event = shutdown or asyncio.Event()
+    drain = True
+
+    def _on_signal(signame: str) -> None:
+        nonlocal drain
+        if stop_event.is_set():
+            # Second signal: the operator means it — drop queued work
+            # immediately (works even while stop() is already draining).
+            drain = False
+            cancelled = service.queue.cancel_pending()
+            _log.warning(
+                "second %s: fast shutdown, cancelled %d queued jobs",
+                signame,
+                cancelled,
+            )
+            return
+        _log.info("%s: graceful shutdown (draining in-flight jobs)", signame)
+        stop_event.set()
+
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signame in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, signame)
+        try:
+            loop.add_signal_handler(signum, _on_signal, signame)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            continue  # non-main thread / platforms without loop signals
+        installed.append(signum)
+
+    server = ServiceServer(service, host, port)
+    await service.start()
+    try:
+        await server.start()
+        if on_ready is not None:
+            on_ready(server)
+        await stop_event.wait()
+        # One wakeup tick: a second signal arriving while we drain still
+        # flips `drain` before the queue empties, because stop() yields
+        # control whenever workers await.
+    finally:
+        with contextlib.suppress(Exception):
+            await server.stop()
+        await service.stop(drain=drain)
+        for signum in installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signum)
+    return server

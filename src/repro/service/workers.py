@@ -1,0 +1,223 @@
+"""Async worker pool draining the job queue onto the blocking engine.
+
+Workers are plain asyncio tasks: each one loops ``await queue.get()``,
+ships the job's spec to the blocking execution callable (in practice
+``Session.run`` on the service's shared session/executor) via
+``asyncio.to_thread``, and settles the job.  Concurrency is therefore
+``workers`` simultaneous engine runs — the engine's own process pool
+parallelizes *within* a run, the service's worker count parallelizes
+*across* distinct specs.
+
+Per-job controls:
+
+- **timeout** — ``job.timeout`` (falling back to the pool default)
+  bounds one execution attempt via ``asyncio.wait_for``.  A timed-out
+  job settles as ``timeout``; the underlying thread cannot be killed
+  mid-``Session.run`` and is left to finish into the void (its result
+  is discarded), which is the standard asyncio/thread trade-off.
+- **retry with backoff** — exceptions matching ``transient`` retry up
+  to ``max_retries`` times with exponential backoff
+  (``retry_backoff * 2**attempt`` seconds).  Everything else —
+  :class:`~repro.api.spec.SpecError`, programming errors — fails the
+  job immediately; re-running a deterministic failure cannot fix it.
+- **cancellation** — a cancel request against a running job lets the
+  attempt finish but discards the outcome and settles the job as
+  ``cancelled`` (queued jobs cancel instantly inside the queue).
+
+Every transition emits ``service.job_start`` / ``service.job_retry`` /
+``service.job_finish`` telemetry through :func:`repro.obs.emit`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Callable
+
+from repro.obs import emit
+
+from .queue import (
+    CANCELLED,
+    FAILED,
+    TIMEOUT,
+    Job,
+    JobQueue,
+    QueueClosedError,
+)
+
+__all__ = ["WorkerPool"]
+
+_log = logging.getLogger(__name__)
+
+
+class WorkerPool:
+    """``workers`` asyncio tasks executing jobs from a :class:`JobQueue`.
+
+    Parameters
+    ----------
+    queue:
+        The admission queue to drain.
+    execute:
+        Blocking callable ``execute(job) -> Result`` (run in a thread).
+    workers:
+        Concurrent job executions.
+    job_timeout:
+        Default per-attempt timeout in seconds (``None`` = unbounded);
+        a job's own ``timeout`` overrides it.
+    max_retries:
+        Extra attempts allowed after a transient failure.
+    retry_backoff:
+        Base backoff in seconds (doubles per retry).
+    transient:
+        Exception types worth retrying.
+    on_success:
+        Optional hook ``on_success(job, result)`` invoked on the event
+        loop before the job resolves (the service stores the result
+        here, so waiters can never observe a done-but-unstored job).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        execute: Callable[[Job], object],
+        *,
+        workers: int = 2,
+        job_timeout: "float | None" = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.1,
+        transient: "tuple[type[BaseException], ...]" = (ConnectionError, OSError),
+        on_success: "Callable[[Job, object], None] | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._queue = queue
+        self._execute = execute
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.transient = transient
+        self._on_success = on_success
+        self._tasks: "list[asyncio.Task]" = []
+        self.executed = 0  # attempts that ran to completion (any outcome)
+        self.active = 0  # jobs currently executing
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.get_running_loop().create_task(
+                self._worker(i), name=f"repro-service-worker-{i}"
+            )
+            for i in range(self.workers)
+        ]
+
+    async def join(self) -> None:
+        """Wait for every worker to exit (after ``queue.close()``)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+            self._tasks = []
+
+    async def abort(self) -> None:
+        """Hard-cancel the worker tasks (running jobs settle cancelled)."""
+        for task in self._tasks:
+            task.cancel()
+        await self.join()
+
+    # ------------------------------------------------------------------
+    async def _worker(self, index: int) -> None:
+        while True:
+            try:
+                job = await self._queue.get()
+            except QueueClosedError:
+                return
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.release(job)
+
+    async def _run_job(self, job: Job) -> None:
+        # queue.get() already marked the job running.
+        self.active += 1
+        emit(
+            "service.job_start",
+            logger=_log,
+            level=logging.INFO,
+            job=job.id,
+            hash=job.hash,
+            experiment=job.spec.experiment,
+            priority=job.priority,
+            submissions=job.submissions,
+        )
+        timeout = job.timeout if job.timeout is not None else self.job_timeout
+        try:
+            while True:
+                job.attempts += 1
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.to_thread(self._execute, job), timeout
+                    )
+                except asyncio.TimeoutError:
+                    job.reject(
+                        TIMEOUT,
+                        f"attempt {job.attempts} exceeded {timeout}s",
+                    )
+                    break
+                except asyncio.CancelledError:
+                    job.reject(CANCELLED, "worker cancelled")
+                    raise
+                except self.transient as exc:
+                    if job.attempts <= self.max_retries and not job.cancel_requested:
+                        delay = self.retry_backoff * 2 ** (job.attempts - 1)
+                        emit(
+                            "service.job_retry",
+                            logger=_log,
+                            level=logging.WARNING,
+                            job=job.id,
+                            attempt=job.attempts,
+                            delay=round(delay, 3),
+                            error=repr(exc),
+                        )
+                        await asyncio.sleep(delay)
+                        continue
+                    job.reject(FAILED, repr(exc))
+                    break
+                except BaseException as exc:
+                    job.reject(FAILED, repr(exc))
+                    break
+                else:
+                    if job.cancel_requested:
+                        job.reject(CANCELLED, "cancelled while running")
+                    else:
+                        if self._on_success is not None:
+                            self._on_success(job, result)
+                        job.resolve(result)
+                    break
+        finally:
+            self.active -= 1
+            self.executed += 1
+            emit(
+                "service.job_finish",
+                logger=_log,
+                level=logging.INFO,
+                job=job.id,
+                hash=job.hash,
+                state=job.state,
+                attempts=job.attempts,
+                elapsed=(
+                    round(job.finished - job.started, 6)
+                    if job.finished is not None and job.started is not None
+                    else None
+                ),
+                error=job.error,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(workers={self.workers}, active={self.active}, "
+            f"executed={self.executed})"
+        )

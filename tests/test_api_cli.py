@@ -302,3 +302,146 @@ def test_python_dash_m_unknown_experiment_fails():
     )
     assert proc.returncode == 2
     assert "unknown experiment" in proc.stderr
+
+
+class TestRunJsonStdout:
+    """Satellite: bare `--json` streams the full Result JSON to stdout."""
+
+    def test_bare_json_prints_result_and_suppresses_summary(self, capsys):
+        assert main(["run", "fig1.storage", "--json"]) == 0
+        out = capsys.readouterr().out
+        result = Result.from_json(out)
+        assert result.experiment == "fig1.storage"
+        assert "fig1.storage (analytical)" not in out  # no summary noise
+
+    def test_explicit_dash_is_the_same_as_bare(self, capsys):
+        assert main(["run", "fig1.storage", "--json", "-"]) == 0
+        Result.from_json(capsys.readouterr().out)
+
+    def test_file_json_keeps_the_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "r.json"
+        assert main(["run", "fig1.storage", "--json", str(out_path)]) == 0
+        assert "fig1.storage (analytical)" in capsys.readouterr().out
+        Result.from_json(out_path.read_text())
+
+    def test_bare_json_pipes_cleanly_through_a_fresh_interpreter(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "fig1.storage", "--json"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert Result.from_json(proc.stdout).experiment == "fig1.storage"
+
+
+class TestCacheCommand:
+    """Satellite: `python -m repro cache` stats and pruning."""
+
+    @staticmethod
+    def _populate(root, key, *, age_seconds=0.0):
+        import os
+        import time
+
+        import numpy as np
+
+        from repro.engine import ResultCache
+
+        cache = ResultCache(root)
+        path = cache.store(key, {"counts": np.arange(64)}, {"k": key})
+        if age_seconds:
+            stamp = time.time() - age_seconds
+            os.utime(path, (stamp, stamp))
+
+    def test_missing_directory_is_exit_2(self, capsys, tmp_path):
+        code = main(["cache", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_stats_text_output(self, capsys, tmp_path):
+        self._populate(tmp_path, "aaaa")
+        assert main(["cache", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     1" in out
+
+    def test_stats_json_output(self, capsys, tmp_path):
+        self._populate(tmp_path, "aaaa")
+        assert main(["cache", "--dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["total_bytes"] > 0
+
+    def test_prune_requires_a_bound(self, capsys, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        code = main(["cache", "--dir", str(tmp_path), "--prune"])
+        assert code == 2
+        assert "--prune needs" in capsys.readouterr().err
+
+    def test_bounds_require_prune(self, capsys, tmp_path):
+        code = main(["cache", "--dir", str(tmp_path), "--ttl", "60"])
+        assert code == 2
+        assert "require --prune" in capsys.readouterr().err
+
+    def test_prune_ttl_removes_stale_entries(self, capsys, tmp_path):
+        self._populate(tmp_path, "stale", age_seconds=7200.0)
+        self._populate(tmp_path, "fresh")
+        code = main([
+            "cache", "--dir", str(tmp_path), "--prune", "--ttl", "3600",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pruned"] == 1
+        assert payload["entries"] == 1
+
+
+class TestServeCommand:
+    """Satellite: `python -m repro serve` argument gate + live smoke."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--workers", "0"],
+            ["serve", "--engine-workers", "0"],
+            ["serve", "--queue-capacity", "0"],
+            ["serve", "--ttl", "-1"],
+            ["serve", "--port", "70000"],
+        ],
+    )
+    def test_bad_arguments_are_exit_2(self, capsys, argv):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_sigterm_drains_and_exits_zero(self):
+        import signal
+
+        from repro.service import ServiceClient
+
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = proc.stderr.readline()
+            assert "http://" in announce, announce
+            port = int(announce.split("http://127.0.0.1:")[1].split(" ")[0])
+            client = ServiceClient(port=port)
+            client.wait_ready(timeout=15.0)
+            job = client.run(
+                "fig8.reliability",
+                timeout=60.0,
+                params={"years": [1.0]},
+            )
+            assert job["state"] == "done"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30.0)
+            assert proc.returncode == 0, proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)

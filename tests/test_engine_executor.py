@@ -172,3 +172,92 @@ class TestSessionOwnership:
             assert one.run(spec).without_telemetry() == (
                 four.run(spec).without_telemetry()
             )
+
+
+class TestLifecycleSafety:
+    """Satellite: atexit reaping + close() idempotent under concurrency."""
+
+    def test_concurrent_close_is_idempotent(self):
+        import threading
+
+        executor = SharedExecutor(workers=2)
+        executor.map(_square, range(8))  # force the pool into existence
+        assert executor.started
+        barrier = threading.Barrier(8)
+
+        def closer():
+            barrier.wait()
+            executor.close()
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+        assert not executor.started
+        executor.close()  # still a no-op afterwards
+
+    def test_concurrent_map_creates_exactly_one_pool(self):
+        import threading
+
+        executor = SharedExecutor(workers=2)
+        barrier = threading.Barrier(6)
+        pools = []
+
+        def mapper():
+            barrier.wait()
+            executor.map(_square, range(4))
+            pools.append(executor._pool)
+
+        threads = [threading.Thread(target=mapper) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        try:
+            assert len(set(map(id, pools))) == 1
+        finally:
+            executor.close()
+
+    def test_atexit_hook_registered_on_start_unregistered_on_close(self, monkeypatch):
+        import atexit
+
+        registered = []
+        unregistered = []
+        monkeypatch.setattr(
+            atexit, "register", lambda fn, *a, **k: registered.append(fn)
+        )
+        monkeypatch.setattr(
+            atexit, "unregister", lambda fn: unregistered.append(fn)
+        )
+        executor = SharedExecutor(workers=2)
+        assert registered == []  # nothing registered before a pool exists
+        executor.map(_square, range(8))
+        assert registered == [executor.close]
+        executor.map(_square, range(8))
+        assert registered == [executor.close]  # once, not per map
+        executor.close()
+        assert unregistered == [executor.close]
+
+    def test_inline_map_never_registers_atexit(self, monkeypatch):
+        import atexit
+
+        registered = []
+        monkeypatch.setattr(
+            atexit, "register", lambda fn, *a, **k: registered.append(fn)
+        )
+        executor = SharedExecutor(workers=1)
+        executor.map(_square, range(8))
+        assert registered == []  # no pool, nothing to reap
+        executor.close()
+
+    def test_pool_rebuilds_after_close(self):
+        executor = SharedExecutor(workers=2)
+        assert executor.map(_square, range(8)) == [x * x for x in range(8)]
+        executor.close()
+        assert not executor.started
+        # A later map lazily rebuilds the pool with identical results.
+        assert executor.map(_square, range(8)) == [x * x for x in range(8)]
+        assert executor.started
+        executor.close()

@@ -1,0 +1,511 @@
+"""ExperimentService end-to-end (in-process, no HTTP).
+
+Covers the three admission paths (queued / coalesced / store), the
+single-flight dedup guarantee against a *real* session, and the worker
+pool's timeout / retry / cancellation policies against a controllable
+stub session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import ExperimentSpec, Session
+from repro.api.registry import UnknownExperimentError
+from repro.api.result import Result, Series
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TIMEOUT,
+    ExperimentService,
+    QueueFullError,
+)
+
+
+def spec(i: int = 0) -> ExperimentSpec:
+    return ExperimentSpec("fig8.reliability", params={"years": [float(i)]})
+
+
+def make_result(job_spec: ExperimentSpec) -> Result:
+    return Result(
+        experiment=job_spec.experiment,
+        backend="analytical",
+        spec=job_spec,
+        data={"p": [0.5]},
+        series=(Series("p", y=(0.5,), x=(0.0,)),),
+    )
+
+
+class StubSession:
+    """A Session stand-in whose run() behaviour each test scripts.
+
+    ``script`` is called once per run attempt with the spec; whatever it
+    returns (or raises) is the run's outcome.  ``gate`` (when given)
+    blocks every run until the test sets it, which is how the tests pin
+    a job in the RUNNING state.
+    """
+
+    def __init__(self, script=None, gate: "threading.Event | None" = None):
+        self.script = script or make_result
+        self.gate = gate
+        self.cache = None
+        self.workers = 1
+        self.closed = False
+        self._lock = threading.Lock()
+        self._runs_started = 0
+        self._runs_completed = 0
+        self.order: "list[str]" = []  # completion order of spec hashes
+
+    @property
+    def runs_started(self) -> int:
+        return self._runs_started
+
+    @property
+    def runs_completed(self) -> int:
+        return self._runs_completed
+
+    def run(self, job_spec: ExperimentSpec) -> Result:
+        with self._lock:
+            self._runs_started += 1
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10.0), "test gate never opened"
+        out = self.script(job_spec)
+        with self._lock:
+            self._runs_completed += 1
+            self.order.append(job_spec.content_hash())
+        return out
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def stub_service(**overrides) -> ExperimentService:
+    overrides.setdefault("session", StubSession())
+    overrides.setdefault("workers", 1)
+    overrides.setdefault("retry_backoff", 0.001)
+    return ExperimentService(**overrides)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionPaths:
+    def test_submit_runs_and_resolves(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            try:
+                job, via = service.submit(spec(1))
+                assert via == "queued"
+                assert await job.wait(timeout=5.0)
+                assert job.state == DONE
+                assert isinstance(job.result, Result)
+                assert service.job(job.id) is job
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_resubmission_after_completion_is_served_from_store(self):
+        async def main():
+            session = StubSession()
+            service = stub_service(session=session)
+            await service.start()
+            try:
+                first, _ = service.submit(spec(1))
+                await first.wait(timeout=5.0)
+                again, via = service.submit(spec(1))
+                assert via == "store"
+                assert again.from_store and again.state == DONE
+                assert session.runs_started == 1  # no second engine run
+                assert again.result.to_json() == first.result.to_json()
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_unknown_experiment_rejected_at_admission(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            try:
+                with pytest.raises(UnknownExperimentError):
+                    service.submit(ExperimentSpec("no.such_figure"))
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_job_lookup_misses_return_none(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            try:
+                assert service.job("j999999") is None
+                assert service.cancel("j999999") is None
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestSingleFlightDedup:
+    """The tentpole guarantee, proven against a real Session."""
+
+    def test_many_submitters_one_engine_run(self):
+        async def main():
+            with Session() as session:
+                service = ExperimentService(session=session, workers=2)
+                await service.start()
+                try:
+                    the_spec = spec(42)
+                    jobs = [service.submit(the_spec) for _ in range(20)]
+                    first_job, first_via = jobs[0]
+                    assert first_via == "queued"
+                    assert all(j is first_job for j, _ in jobs)
+                    assert all(via == "coalesced" for _, via in jobs[1:])
+                    assert first_job.submissions == 20
+
+                    assert await first_job.wait(timeout=30.0)
+                    assert first_job.state == DONE
+
+                    # Exactly one engine run happened...
+                    assert session.runs_started == 1
+                    assert session.runs_completed == 1
+                    starts = [
+                        e
+                        for e in session.last_telemetry.events
+                        if e["event"] == "run.start"
+                    ]
+                    assert len(starts) == 1
+                    # ...and every waiter sees the same bytes.
+                    payload = first_job.result.to_json()
+                    again, via = service.submit(the_spec)
+                    assert via == "store"
+                    assert again.result.to_json() == payload
+                    assert session.runs_started == 1
+
+                    stats = service.stats()
+                    assert stats["dedup"]["hits"] == 19
+                    assert stats["queue"]["submitted"] == 20
+                finally:
+                    await service.stop()
+
+        run(main())
+
+    def test_distinct_specs_do_not_coalesce(self):
+        async def main():
+            session = StubSession()
+            service = stub_service(session=session, workers=2)
+            await service.start()
+            try:
+                jobs = [service.submit(spec(i))[0] for i in range(4)]
+                for job in jobs:
+                    assert await job.wait(timeout=5.0)
+                assert session.runs_started == 4
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_new_specs_but_coalesces_duplicates(self):
+        async def main():
+            gate = threading.Event()
+            service = stub_service(
+                session=StubSession(gate=gate), queue_capacity=2
+            )
+            await service.start()
+            try:
+                running, _ = service.submit(spec(0))
+                await asyncio.sleep(0.05)  # let the worker claim it
+                assert running.state == RUNNING
+                service.submit(spec(1))
+                service.submit(spec(2))
+                with pytest.raises(QueueFullError):
+                    service.submit(spec(3))
+                dup, via = service.submit(spec(1))  # full, but no new work
+                assert via == "coalesced"
+            finally:
+                gate.set()
+                await service.stop()
+
+        run(main())
+
+
+class TestTimeoutsAndRetries:
+    def test_job_timeout_settles_as_timeout(self):
+        async def main():
+            def slow(job_spec):
+                time.sleep(0.4)
+                return make_result(job_spec)
+
+            service = stub_service(
+                session=StubSession(script=slow), job_timeout=0.05
+            )
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                assert await job.wait(timeout=5.0)
+                assert job.state == TIMEOUT
+                assert "exceeded" in job.error
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_per_job_timeout_overrides_pool_default(self):
+        async def main():
+            def slow(job_spec):
+                time.sleep(0.1)
+                return make_result(job_spec)
+
+            service = stub_service(
+                session=StubSession(script=slow), job_timeout=0.01
+            )
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1), timeout=5.0)
+                assert await job.wait(timeout=5.0)
+                assert job.state == DONE
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_transient_failures_retry_then_succeed(self):
+        async def main():
+            failures = iter([ConnectionError("flaky"), ConnectionError("flaky")])
+
+            def flaky(job_spec):
+                try:
+                    raise next(failures)
+                except StopIteration:
+                    return make_result(job_spec)
+
+            service = stub_service(
+                session=StubSession(script=flaky), max_retries=2
+            )
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                assert await job.wait(timeout=5.0)
+                assert job.state == DONE
+                assert job.attempts == 3
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_transient_failures_exhaust_retries(self):
+        async def main():
+            def always_flaky(job_spec):
+                raise ConnectionError("still down")
+
+            service = stub_service(
+                session=StubSession(script=always_flaky), max_retries=2
+            )
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                assert await job.wait(timeout=5.0)
+                assert job.state == FAILED
+                assert job.attempts == 3
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_permanent_failures_do_not_retry(self):
+        async def main():
+            def broken(job_spec):
+                raise ValueError("bad parameters")
+
+            service = stub_service(
+                session=StubSession(script=broken), max_retries=5
+            )
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                assert await job.wait(timeout=5.0)
+                assert job.state == FAILED
+                assert job.attempts == 1
+                assert "bad parameters" in job.error
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        async def main():
+            gate = threading.Event()
+            service = stub_service(session=StubSession(gate=gate))
+            await service.start()
+            try:
+                service.submit(spec(0))
+                await asyncio.sleep(0.05)  # worker busy on spec(0)
+                queued, _ = service.submit(spec(1))
+                assert queued.state == QUEUED
+                assert service.cancel(queued.id) is True
+                assert queued.state == CANCELLED
+            finally:
+                gate.set()
+                await service.stop()
+
+        run(main())
+
+    def test_cancel_running_job_discards_its_result(self):
+        async def main():
+            gate = threading.Event()
+            service = stub_service(session=StubSession(gate=gate))
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                await asyncio.sleep(0.05)
+                assert job.state == RUNNING
+                assert service.cancel(job.id) is False  # only requested
+                gate.set()
+                assert await job.wait(timeout=5.0)
+                assert job.state == CANCELLED
+                assert job.result is None
+                assert job.hash not in service.store
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_cancel_done_job_is_a_noop(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                await job.wait(timeout=5.0)
+                assert service.cancel(job.id) is False
+                assert job.state == DONE
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestPriorities:
+    def test_higher_priority_jobs_run_first(self):
+        async def main():
+            gate = threading.Event()
+            session = StubSession(gate=gate)
+            service = stub_service(session=session)
+            await service.start()
+            try:
+                service.submit(spec(0))  # occupies the only worker
+                await asyncio.sleep(0.05)
+                low, _ = service.submit(spec(1), priority=0)
+                high, _ = service.submit(spec(2), priority=10)
+                gate.set()
+                assert await low.wait(timeout=5.0)
+                assert await high.wait(timeout=5.0)
+                assert session.order.index(high.hash) < session.order.index(
+                    low.hash
+                )
+            finally:
+                await service.stop()
+
+        run(main())
+
+
+class TestShutdown:
+    def test_graceful_stop_drains_queued_work(self):
+        async def main():
+            session = StubSession()
+            service = stub_service(session=session)
+            await service.start()
+            jobs = [service.submit(spec(i))[0] for i in range(5)]
+            await service.stop(drain=True)
+            assert all(job.state == DONE for job in jobs)
+            assert session.runs_completed == 5
+
+        run(main())
+
+    def test_fast_stop_cancels_queued_work(self):
+        async def main():
+            gate = threading.Event()
+            service = stub_service(session=StubSession(gate=gate))
+            await service.start()
+            running, _ = service.submit(spec(0))
+            await asyncio.sleep(0.05)
+            queued = [service.submit(spec(i))[0] for i in (1, 2)]
+            stopper = asyncio.ensure_future(service.stop(drain=False))
+            await asyncio.sleep(0.05)
+            gate.set()
+            await stopper
+            assert running.state == DONE
+            assert all(job.state == CANCELLED for job in queued)
+
+        run(main())
+
+    def test_injected_sessions_stay_open(self):
+        async def main():
+            session = StubSession()
+            service = stub_service(session=session)
+            await service.start()
+            await service.stop()
+            assert not session.closed
+
+        run(main())
+
+    def test_start_and_stop_are_idempotent(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            await service.start()
+            await service.stop()
+            await service.stop()
+
+        run(main())
+
+
+class TestStats:
+    def test_stats_are_json_pure_and_complete(self):
+        async def main():
+            service = stub_service()
+            await service.start()
+            try:
+                job, _ = service.submit(spec(1))
+                await job.wait(timeout=5.0)
+                service.submit(spec(1))  # store hit
+                stats = json.loads(json.dumps(service.stats()))
+                assert stats["queue"]["capacity"] == 1024
+                assert stats["jobs"]["executed"] == 1
+                assert stats["jobs"]["from_store"] == 1
+                assert stats["dedup"]["store_hits"] == 1
+                assert stats["store"]["stores"] == 1
+                assert stats["session"]["runs_started"] == 1
+                assert stats["service_events"]["events.service.submit"] == 2
+                assert stats["uptime_seconds"] >= 0
+            finally:
+                await service.stop()
+
+        run(main())
+
+    def test_healthz_reflects_lifecycle(self):
+        async def main():
+            service = stub_service()
+            assert service.healthz()["status"] == "stopped"
+            await service.start()
+            assert service.healthz()["status"] == "ok"
+            await service.stop()
+            assert service.healthz()["status"] == "stopped"
+
+        run(main())

@@ -1,0 +1,242 @@
+"""ResultStore: TTL/eviction, counters, JSON round-trip, disk mirror."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api import ExperimentSpec, Session
+from repro.api.result import Result, Series
+from repro.engine import ResultCache
+from repro.obs import RunRecorder, use_recorder
+from repro.service import ResultStore
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_result(i: int = 0) -> Result:
+    spec = ExperimentSpec("fig8.yield", params={"failing_cells": [i]})
+    return Result(
+        experiment=spec.experiment,
+        backend="analytical",
+        spec=spec,
+        data={"yield": [0.5 + i]},
+        series=(Series("yield", y=(0.5 + i,), x=(i,)),),
+    )
+
+
+class TestRoundTrip:
+    def test_get_returns_a_lossless_result(self):
+        store = ResultStore(ttl_seconds=None)
+        result = make_result(3)
+        spec_hash = store.put(result)
+        assert spec_hash == result.spec_hash
+        assert store.get(spec_hash) == result
+
+    def test_get_json_is_the_exact_serialized_text(self):
+        store = ResultStore(ttl_seconds=None)
+        result = make_result(1)
+        store.put(result)
+        assert store.get_json(result.spec_hash) == result.to_json()
+
+    def test_miss_returns_none_and_counts(self):
+        store = ResultStore()
+        assert store.get("no-such-hash") is None
+        assert store.misses == 1 and store.hits == 0
+
+    def test_contains_and_len(self):
+        store = ResultStore()
+        result = make_result()
+        assert result.spec_hash not in store
+        store.put(result)
+        assert result.spec_hash in store
+        assert len(store) == 1
+
+
+class TestTtl:
+    def test_entries_expire_after_ttl(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_seconds=60.0, clock=clock)
+        result = make_result()
+        store.put(result)
+        clock.advance(59.0)
+        assert store.get(result.spec_hash) is not None
+        clock.advance(2.0)  # 61s total
+        assert store.get(result.spec_hash) is None
+        assert store.evicted == 1
+
+    def test_sweep_evicts_every_expired_entry(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_seconds=10.0, clock=clock)
+        old = [make_result(i) for i in range(3)]
+        for result in old:
+            store.put(result)
+        clock.advance(11.0)
+        fresh = make_result(99)
+        store.put(fresh)
+        assert store.sweep() == 3
+        assert len(store) == 1
+        assert store.get(fresh.spec_hash) is not None
+
+    def test_eviction_emits_store_evict_telemetry(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_seconds=5.0, clock=clock)
+        result = make_result()
+        recorder = RunRecorder()
+        with use_recorder(recorder):
+            store.put(result)
+            clock.advance(6.0)
+            store.sweep()
+        events = [e for e in recorder.events if e["event"] == "store.evict"]
+        assert len(events) == 1
+        assert events[0]["key"] == result.spec_hash
+        assert events[0]["reason"] == "ttl"
+
+    def test_none_ttl_never_expires(self):
+        clock = FakeClock()
+        store = ResultStore(ttl_seconds=None, clock=clock)
+        result = make_result()
+        store.put(result)
+        clock.advance(1e9)
+        assert store.get(result.spec_hash) is not None
+        assert store.sweep() == 0
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResultStore(ttl_seconds=0)
+
+
+class TestCapacity:
+    def test_max_entries_evicts_oldest_first(self):
+        store = ResultStore(ttl_seconds=None, max_entries=2)
+        first, second, third = (make_result(i) for i in range(3))
+        store.put(first)
+        store.put(second)
+        store.put(third)
+        assert len(store) == 2
+        assert store.get(first.spec_hash) is None
+        assert store.get(third.spec_hash) is not None
+
+    def test_re_put_refreshes_lru_position(self):
+        store = ResultStore(ttl_seconds=None, max_entries=2)
+        first, second, third = (make_result(i) for i in range(3))
+        store.put(first)
+        store.put(second)
+        store.put(first)  # refresh: second is now oldest
+        store.put(third)
+        assert store.get(first.spec_hash) is not None
+        assert store.get(second.spec_hash) is None
+
+
+class TestCounters:
+    def test_hit_miss_store_coalesce_accounting(self):
+        store = ResultStore()
+        result = make_result()
+        store.put(result)
+        store.get(result.spec_hash)
+        store.get(result.spec_hash)
+        store.get("missing")
+        store.note_coalesced(3)
+        stats = store.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["coalesced"] == 3
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_hit_rate_none_before_any_lookup(self):
+        assert ResultStore().stats()["hit_rate"] is None
+
+    def test_stats_are_json_pure(self):
+        store = ResultStore()
+        store.put(make_result())
+        json.dumps(store.stats())
+
+
+class TestDiskMirror:
+    def test_put_persists_and_cold_store_serves(self, tmp_path):
+        result = make_result(7)
+        store = ResultStore(ttl_seconds=None, root=tmp_path)
+        store.put(result)
+        assert (tmp_path / f"{result.spec_hash}.json").is_file()
+        cold = ResultStore(ttl_seconds=None, root=tmp_path)
+        assert cold.get(result.spec_hash) == result
+        assert cold.hits == 1
+
+    def test_expired_disk_entry_is_a_miss(self, tmp_path):
+        result = make_result()
+        store = ResultStore(ttl_seconds=60.0, root=tmp_path)
+        store.put(result)
+        path = tmp_path / f"{result.spec_hash}.json"
+        stale = time.time() - 120.0
+        os.utime(path, (stale, stale))
+        cold = ResultStore(ttl_seconds=60.0, root=tmp_path)
+        assert cold.get(result.spec_hash) is None
+        assert not path.exists()
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        result = make_result()
+        store = ResultStore(ttl_seconds=None, root=tmp_path)
+        store.put(result)
+        path = tmp_path / f"{result.spec_hash}.json"
+        path.write_text("{not json")
+        cold = ResultStore(ttl_seconds=None, root=tmp_path)
+        assert cold.get(result.spec_hash) is None
+
+    def test_sweep_removes_stale_disk_files(self, tmp_path):
+        result = make_result()
+        store = ResultStore(ttl_seconds=60.0, root=tmp_path)
+        store.put(result)
+        path = tmp_path / f"{result.spec_hash}.json"
+        stale = time.time() - 120.0
+        os.utime(path, (stale, stale))
+        cold = ResultStore(ttl_seconds=60.0, root=tmp_path)
+        assert cold.sweep() >= 1
+        assert not path.exists()
+
+    def test_eviction_removes_the_mirror_file(self, tmp_path):
+        clock = FakeClock(time.time())
+        store = ResultStore(ttl_seconds=30.0, root=tmp_path, clock=clock)
+        result = make_result()
+        store.put(result)
+        clock.advance(31.0)
+        store.sweep()
+        assert not (tmp_path / f"{result.spec_hash}.json").exists()
+
+
+class TestEngineCacheCoPrune:
+    def test_sweep_forwards_ttl_to_engine_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "engine")
+        cache.store("deadbeef", {"counts": [1, 2, 3]}, {"n": 1})
+        entry = cache.path_for("deadbeef")
+        stale = time.time() - 3600.0
+        os.utime(entry, (stale, stale))
+        store = ResultStore(ttl_seconds=60.0, engine_cache=cache)
+        assert store.sweep() == 1
+        assert len(cache) == 0
+
+    def test_stats_embed_engine_cache_shape(self, tmp_path):
+        cache = ResultCache(tmp_path / "engine")
+        cache.store("deadbeef", {"counts": [1]}, {"n": 1})
+        store = ResultStore(engine_cache=cache)
+        stats = store.stats()
+        assert stats["engine_cache"]["entries"] == 1
+        assert stats["engine_cache"]["total_bytes"] > 0
+
+    def test_session_cache_integration(self, tmp_path):
+        with Session(cache_dir=tmp_path / "cc") as session:
+            session.run("fig3.coverage", trials=64, seed=3)
+            store = ResultStore(engine_cache=session.cache)
+            assert store.stats()["engine_cache"]["entries"] >= 1
