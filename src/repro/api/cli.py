@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Six subcommands:
+Seven subcommands:
 
 ``list``
     Enumerate every registered experiment with its backends, defaults
@@ -34,15 +34,25 @@ Six subcommands:
     (default: the checked-in ``benchmarks/tolerances.json`` when
     present).
 
+``trace JOB.json``
+    Render a persisted job trace (a ``serve --trace-dir`` file or a
+    saved ``GET /jobs/{id}/trace`` response) as a self-contained HTML
+    span timeline; ``-o`` overrides the default ``JOB.html`` output
+    path.  The same file loads in ``chrome://tracing``/Perfetto.
+
 ``serve``
     Run the long-lived experiment service (:mod:`repro.service`):
     HTTP+JSON submissions with single-flight dedup, an asyncio worker
     pool over one shared session, and a TTL'd result store.
-    ``--host/--port/--workers/--ttl`` configure it; SIGINT/SIGTERM
-    drain in-flight jobs and shut down gracefully (a second signal
-    cancels queued work).  Example::
+    ``--host/--port/--workers/--ttl`` configure it; ``--no-metrics``
+    disables the ``GET /metrics`` Prometheus endpoint (on by default)
+    and ``--trace-dir DIR`` persists every settled job's trace as
+    ``DIR/<job_id>.json``.  SIGINT/SIGTERM drain in-flight jobs and
+    shut down gracefully (a second signal cancels queued work).
+    Example::
 
-        python -m repro serve --port 8765 --workers 4 --ttl 3600
+        python -m repro serve --port 8765 --workers 4 --ttl 3600 \
+            --trace-dir traces
 
 ``cache``
     Inspect (``--json``) or prune (``--prune --ttl S / --max-bytes N``,
@@ -175,6 +185,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="output HTML path (default: the input path with an .html suffix)",
     )
 
+    tracer = sub.add_parser(
+        "trace",
+        help="render a persisted job trace JSON as an HTML span timeline",
+    )
+    tracer.add_argument(
+        "trace",
+        metavar="JOB.json",
+        help="trace file (a serve --trace-dir artifact or a saved "
+        "GET /jobs/{id}/trace response)",
+    )
+    tracer.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="output HTML path (default: the input path with an .html suffix)",
+    )
+
     trender = sub.add_parser(
         "bench-trend",
         help="render BENCH_*.json directories as a trend dashboard",
@@ -252,6 +279,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="engine result cache + persisted result store directory "
         "(memory-only when omitted)",
+    )
+    server.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="expose GET /metrics in Prometheus text format "
+        "(default: on; --no-metrics disables)",
+    )
+    server.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="persist every settled job's trace as DIR/<job_id>.json "
+        "(disabled when omitted)",
     )
     server.add_argument(
         "-v",
@@ -372,6 +412,24 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.viz import load_trace, write_timeline
+
+    source = Path(args.trace)
+    if not source.is_file():
+        print(f"error: trace file {source} not found", file=sys.stderr)
+        return 2
+    try:
+        payload = load_trace(source)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = Path(args.output) if args.output else source.with_suffix(".html")
+    write_timeline(payload, output)
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench_trend(args) -> int:
     from repro.viz import Tolerances, load_runs
     from repro.viz.trend import write_trend
@@ -452,6 +510,7 @@ def _cmd_serve(args) -> int:
         ttl_seconds=args.ttl or None,  # 0 disables expiry
         job_timeout=args.job_timeout,
         cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
     )
 
     def announce(server) -> None:
@@ -466,7 +525,11 @@ def _cmd_serve(args) -> int:
     try:
         asyncio.run(
             serve_forever(
-                service, host=args.host, port=args.port, on_ready=announce
+                service,
+                host=args.host,
+                port=args.port,
+                expose_metrics=args.metrics,
+                on_ready=announce,
             )
         )
     except OSError as exc:  # bind failures: address in use, bad host
@@ -594,6 +657,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return 0
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "bench-trend":
         return _cmd_bench_trend(args)
     if args.command == "serve":

@@ -22,6 +22,7 @@ and returns a serializable :class:`~repro.api.result.Result`.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import threading
 import time
@@ -29,13 +30,39 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from repro.obs import RunRecorder, use_recorder
+from repro.obs import RunRecorder, current_trace, use_recorder
+from repro.obs import metrics as _metrics
 
 from .registry import Experiment, get_experiment
 from .result import Result, Series
 from .spec import ExperimentSpec, SpecError
 
 __all__ = ["ExperimentContext", "Session", "run"]
+
+# Process-wide run accounting on the default metrics registry: every
+# session in the process (CLI, service workers, tests) reports here, so
+# the service's /metrics endpoint sees fleet totals, not per-run ones.
+_RUNS_TOTAL = _metrics.counter(
+    "repro_session_runs_total",
+    "Session.run calls by outcome",
+    ("outcome",),
+)
+_RUN_SECONDS = _metrics.histogram(
+    "repro_session_run_seconds",
+    "End-to-end Session.run wall-clock latency",
+    ("experiment",),
+)
+
+
+def _span_event_forwarder(span) -> Callable[[dict], None]:
+    """Nest every recorder event into ``span`` as a point-in-time span
+    event, so a job trace carries the engine's full telemetry stream."""
+
+    def forward(event: dict) -> None:
+        attrs = {k: v for k, v in event.items() if k != "event"}
+        span.add_event(event["event"], **attrs)
+
+    return forward
 
 
 def _legacy_progress_subscriber(
@@ -339,9 +366,20 @@ class Session:
         )
         with self._counter_lock:
             self._runs_started += 1
+        # When a trace is ambient (the service's worker.run span crosses
+        # asyncio.to_thread via contextvars), the run becomes an
+        # engine.execute child span and the recorder's whole event
+        # stream is nested into it.
+        trace = current_trace()
+        span = None
         started = time.perf_counter()
         try:
-            with use_recorder(recorder), recorder.timer("execute"):
+            with contextlib.ExitStack() as stack:
+                if trace is not None:
+                    span = stack.enter_context(trace.span("engine.execute", **info))
+                    recorder.subscribe(_span_event_forwarder(span))
+                stack.enter_context(use_recorder(recorder))
+                stack.enter_context(recorder.timer("execute"))
                 result = impl(context)
         except BaseException as exc:
             # Progress consumers pair start/finish events; a failed run
@@ -352,10 +390,12 @@ class Session:
                 elapsed=round(time.perf_counter() - started, 6),
                 error=repr(exc),
             )
+            _RUNS_TOTAL.labels(outcome="error").inc()
             raise
-        recorder.record(
-            "run.finish", **info, elapsed=round(time.perf_counter() - started, 6)
-        )
+        elapsed = time.perf_counter() - started
+        recorder.record("run.finish", **info, elapsed=round(elapsed, 6))
+        _RUNS_TOTAL.labels(outcome="ok").inc()
+        _RUN_SECONDS.labels(experiment=spec.experiment).observe(elapsed)
         with self._counter_lock:
             self._runs_completed += 1
         # Telemetry rides in meta only: the data/series payloads (and
@@ -363,6 +403,9 @@ class Session:
         # whether or not anyone is watching.
         meta = result.meta_dict()
         meta["telemetry"] = recorder.summary()
+        if span is not None:
+            meta["telemetry"]["trace_id"] = span.trace_id
+            meta["telemetry"]["span_id"] = span.span_id
         return dataclasses.replace(result, meta=meta)
 
     def run_all(self, specs) -> "list[Result]":

@@ -36,10 +36,29 @@ from pathlib import Path
 import numpy as np
 
 from repro.obs import emit
+from repro.obs import metrics as _metrics
 
 __all__ = ["ResultCache", "cache_key"]
 
 _log = logging.getLogger(__name__)
+
+# Fleet-level counterparts of the per-run cache.* telemetry events:
+# the default metrics registry aggregates across every session/run in
+# the process, which is what the service's /metrics endpoint scrapes.
+_CACHE_LOOKUPS = _metrics.counter(
+    "repro_engine_cache_lookups_total",
+    "Engine result-cache lookups by result (hit/miss/corrupt)",
+    ("result",),
+)
+_CACHE_STORES = _metrics.counter(
+    "repro_engine_cache_stores_total",
+    "Engine result-cache entries written",
+)
+_CACHE_EVICTIONS = _metrics.counter(
+    "repro_engine_cache_evictions_total",
+    "Engine result-cache entries evicted by policy",
+    ("reason",),
+)
 
 #: Bump when the engine's semantics change in ways that invalidate old
 #: cached results.
@@ -91,6 +110,7 @@ class ResultCache:
         path = self.path_for(key)
         if not path.exists():
             emit("cache.miss", logger=_log, key=key)
+            _CACHE_LOOKUPS.labels(result="miss").inc()
             return None
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -106,8 +126,10 @@ class ResultCache:
                 quarantined=str(quarantined) if quarantined else None,
                 error=repr(exc),
             )
+            _CACHE_LOOKUPS.labels(result="corrupt").inc()
             return None
         emit("cache.hit", logger=_log, key=key)
+        _CACHE_LOOKUPS.labels(result="hit").inc()
         return payload
 
     def _quarantine(self, path: Path) -> "Path | None":
@@ -141,6 +163,7 @@ class ResultCache:
                 os.unlink(tmp)
             raise
         emit("cache.store", logger=_log, key=key, bytes=path.stat().st_size)
+        _CACHE_STORES.inc()
         return path
 
     # ------------------------------------------------------------------
@@ -222,6 +245,7 @@ class ResultCache:
             bytes=size,
             reason=reason,
         )
+        _CACHE_EVICTIONS.labels(reason=reason).inc()
         return 1
 
     # ------------------------------------------------------------------

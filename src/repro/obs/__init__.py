@@ -28,25 +28,57 @@ The recorder is installed with :func:`use_recorder` (a
 recorder parameter threaded through — and code running outside any
 recorded run still logs normally and pays one context-variable read.
 
+Two further pieces extend the per-run view to the fleet level:
+
+:mod:`repro.obs.metrics`
+    A process-global, thread-safe :class:`MetricsRegistry` of counters,
+    gauges and fixed-bucket histograms with labels, rendered in
+    Prometheus text exposition format (the service's ``GET /metrics``).
+
+:mod:`repro.obs.trace`
+    Per-job :class:`Trace`/:class:`Span` trees propagated through
+    :mod:`contextvars` (across ``asyncio.to_thread``), exported as span
+    JSON and Chrome ``trace_event`` format.
+
 Telemetry is observational by contract: it never participates in cache
 keys and never lands in ``Result.data``, so recording cannot change any
 result (see DESIGN.md §4).
 """
 
 from .events import current_recorder, emit, use_recorder
+from .metrics import MetricsRegistry, default_registry, parse_exposition
 from .recorder import (
     TELEMETRY_SCHEMA_VERSION,
     Counter,
     RunRecorder,
     Timer,
 )
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Trace,
+    current_span,
+    current_trace,
+    new_trace_id,
+    use_span,
+)
 
 __all__ = [
+    "MetricsRegistry",
+    "Span",
     "TELEMETRY_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
     "Counter",
     "RunRecorder",
     "Timer",
+    "Trace",
     "current_recorder",
+    "current_span",
+    "current_trace",
+    "default_registry",
     "emit",
+    "new_trace_id",
+    "parse_exposition",
     "use_recorder",
+    "use_span",
 ]

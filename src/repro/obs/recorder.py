@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import logging
+import threading
 import time
 from typing import Any, Callable
 
@@ -35,17 +36,20 @@ _log = logging.getLogger("repro.obs")
 
 
 class Counter:
-    """A named monotonically increasing integer."""
+    """A named monotonically increasing integer (thread-safe: executor
+    and service paths bump counters from several threads at once)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def add(self, n: int = 1) -> int:
-        self.value += int(n)
-        return self.value
+        with self._lock:
+            self.value += int(n)
+            return self.value
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
@@ -57,25 +61,49 @@ class Timer:
     ``with recorder.timer("execute"): ...`` accumulates wall-clock
     seconds and an activation count; one Timer may time many intervals
     (e.g. one per engine run of a sweep).
+
+    Nested or overlapping activations of the *same* Timer merge into
+    the outermost interval: re-entering while running no longer resets
+    the start (which silently dropped the first interval); instead the
+    entry is depth-counted, a one-time WARNING is logged, and only the
+    outermost exit accumulates — so wall-clock time is never counted
+    twice and never lost.
     """
 
-    __slots__ = ("name", "count", "seconds", "_started")
+    __slots__ = ("name", "count", "seconds", "_started", "_depth", "_warned", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.count = 0
         self.seconds = 0.0
         self._started: "float | None" = None
+        self._depth = 0
+        self._warned = False
+        self._lock = threading.Lock()
 
     def __enter__(self) -> "Timer":
-        self._started = time.perf_counter()
+        with self._lock:
+            if self._depth == 0:
+                self._started = time.perf_counter()
+            elif not self._warned:
+                self._warned = True
+                _log.warning(
+                    "Timer %r re-entered while already running; nested "
+                    "activations merge into the outermost interval",
+                    self.name,
+                )
+            self._depth += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if self._started is not None:
-            self.seconds += time.perf_counter() - self._started
-            self.count += 1
-            self._started = None
+        with self._lock:
+            if self._depth == 0:
+                return  # unbalanced __exit__: nothing to close
+            self._depth -= 1
+            if self._depth == 0 and self._started is not None:
+                self.seconds += time.perf_counter() - self._started
+                self.count += 1
+                self._started = None
 
     def __repr__(self) -> str:
         return f"Timer({self.name!r}, count={self.count}, seconds={self.seconds:.6f})"
@@ -90,6 +118,10 @@ class RunRecorder:
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
         self._subscribers: list[Callable[[dict], None]] = []
+        # The sharded-executor merge loop and the service's worker
+        # threads record into one recorder concurrently; the lock keeps
+        # the event list and aggregate registries consistent.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Event stream
@@ -106,7 +138,8 @@ class RunRecorder:
             "t": round(time.perf_counter() - self._t0, 6),
             **fields,
         }
-        self.events.append(payload)
+        with self._lock:
+            self.events.append(payload)
         self.incr(f"events.{event}")
         self._dispatch(payload)
         return payload
@@ -117,14 +150,17 @@ class RunRecorder:
         A subscriber that raises is logged once and dropped — observers
         must never be able to kill the run they observe.
         """
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
 
     def _dispatch(self, payload: dict) -> None:
         for subscriber in list(self._subscribers):
             try:
                 subscriber(payload)
             except Exception:
-                self._subscribers.remove(subscriber)
+                with self._lock:
+                    if subscriber in self._subscribers:
+                        self._subscribers.remove(subscriber)
                 _log.warning(
                     "telemetry subscriber %r raised and was dropped",
                     subscriber,
@@ -135,10 +171,12 @@ class RunRecorder:
     # Typed aggregates
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
-        """Get or create the named :class:`Counter`."""
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        """Get or create the named :class:`Counter` (thread-safe)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
 
     def counter_values(self, prefix: str = "") -> "dict[str, int]":
         """Snapshot of counter values, optionally filtered by prefix
@@ -156,9 +194,11 @@ class RunRecorder:
     def timer(self, name: str) -> Timer:
         """Get or create the named :class:`Timer` (use as a context
         manager; repeated activations accumulate)."""
-        if name not in self._timers:
-            self._timers[name] = Timer(name)
-        return self._timers[name]
+        timer = self._timers.get(name)
+        if timer is None:
+            with self._lock:
+                timer = self._timers.setdefault(name, Timer(name))
+        return timer
 
     # ------------------------------------------------------------------
     # Serialization

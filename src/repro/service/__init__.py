@@ -24,10 +24,17 @@ Layers (stdlib-only — asyncio streams, ``http.client``, ``json``):
 - :mod:`~repro.service.app` — :class:`ExperimentService`: the control
   plane gluing the three together (``submit`` → store hit | coalesce |
   queue) plus ``stats``/``healthz``.
+- :mod:`~repro.service.instruments` — :class:`ServiceInstruments`: the
+  service's metric families (outcome counters, latency/queue-wait
+  histograms, worker-utilization gauges) on a
+  :class:`~repro.obs.metrics.MetricsRegistry`; every job also carries a
+  :class:`~repro.obs.trace.Trace` whose spans
+  (``admit``/``queue.wait``/``worker.run``/``engine.execute``/
+  ``store.write``) follow it through the stack.
 - :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
   HTTP+JSON API (``POST /jobs``, ``GET /jobs/{id}``,
-  ``GET /results/{hash}``, ``GET /healthz``, ``GET /stats``) and its
-  blocking client.
+  ``GET /jobs/{id}/trace``, ``GET /results/{hash}``, ``GET /healthz``,
+  ``GET /stats``, ``GET /metrics``) and its blocking client.
 - :mod:`~repro.service.runner` — :func:`serve_forever`, the
   ``python -m repro serve`` core with graceful SIGINT/SIGTERM drain.
 
@@ -45,6 +52,7 @@ Quickstart::
 
 from .app import ExperimentService
 from .client import JobFailedError, ServiceClient, ServiceError
+from .instruments import ServiceInstruments
 from .queue import (
     CANCELLED,
     DONE,
@@ -78,6 +86,7 @@ __all__ = [
     "ResultStore",
     "ServiceClient",
     "ServiceError",
+    "ServiceInstruments",
     "ServiceServer",
     "WorkerPool",
     "serve_forever",

@@ -35,16 +35,20 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import logging
 import time
 from pathlib import Path
 from typing import Optional
 
 from repro.api.registry import get_experiment
+from repro.api.result import RESULT_SCHEMA_VERSION
 from repro.api.session import Session
 from repro.api.spec import ExperimentSpec
 from repro.obs import RunRecorder, emit, use_recorder
+from repro.obs.metrics import MetricsRegistry
 
+from .instruments import ServiceInstruments
 from .queue import Job, JobQueue
 from .store import ResultStore
 from .workers import WorkerPool
@@ -84,6 +88,16 @@ class ExperimentService:
     session:
         Inject a pre-built session (tests); otherwise one is created
         and owned (closed on :meth:`stop`).
+    registry:
+        Inject a :class:`~repro.obs.metrics.MetricsRegistry` for the
+        service's instruments (tests asserting exact counts); the
+        process-global default registry otherwise.  ``GET /metrics``
+        renders whichever is in use.
+    trace_dir:
+        Optional directory; when set, every settled job's trace is
+        persisted as ``<trace_dir>/<job_id>.json`` (span JSON + Chrome
+        ``traceEvents`` in one payload, see
+        :meth:`repro.obs.trace.Trace.export`).
     """
 
     def __init__(
@@ -100,8 +114,12 @@ class ExperimentService:
         cache_dir: "str | Path | None" = None,
         session: "Session | None" = None,
         mp_context=None,
+        registry: "MetricsRegistry | None" = None,
+        trace_dir: "str | Path | None" = None,
     ):
         self.recorder = RunRecorder()
+        self.instruments = ServiceInstruments(registry)
+        self._trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._owns_session = session is None
         self.session = session or Session(
             workers=engine_workers, cache_dir=cache_dir, mp_context=mp_context
@@ -124,6 +142,8 @@ class ExperimentService:
             retry_backoff=retry_backoff,
             transient=transient,
             on_success=self._on_success,
+            on_finish=self._on_finish,
+            instruments=self.instruments,
         )
         self._jobs: "dict[str, Job]" = {}
         self._synthetic = 0  # store-served submissions (no queue entry)
@@ -141,6 +161,8 @@ class ExperimentService:
             return
         self._started = True
         self._started_at = time.time()
+        if self._trace_dir is not None:
+            self._trace_dir.mkdir(parents=True, exist_ok=True)
         # The ambient recorder for everything the loop thread emits;
         # tasks created below inherit it through their contextvars copy.
         self._recorder_scope = use_recorder(self.recorder)
@@ -207,6 +229,7 @@ class ExperimentService:
         while True:
             await asyncio.sleep(interval)
             evicted = self.store.sweep()
+            self.instruments.store_entries.set(len(self.store))
             self._trim_history()
             if evicted:
                 emit(
@@ -247,6 +270,8 @@ class ExperimentService:
         """
         get_experiment(spec.experiment)  # admission-time validation
         spec_hash = spec.content_hash()
+        admitted = time.time()
+        ins = self.instruments
         emit(
             "service.submit",
             logger=_log,
@@ -256,13 +281,28 @@ class ExperimentService:
         )
         stored = self.store.get(spec_hash)
         if stored is not None:
+            ins.store_lookups_total.labels(result="hit").inc()
+            ins.submissions_total.labels(via="store").inc()
+            ins.jobs_total.labels(outcome="deduped").inc()
             job = self._synthetic_job(spec, stored)
+            job.trace.add_span(
+                "admit",
+                start=admitted,
+                end=time.time(),
+                via="store",
+                experiment=spec.experiment,
+                hash=spec_hash,
+            )
+            self._persist_trace(job)
             return job, "store"
+        ins.store_lookups_total.labels(result="miss").inc()
         job, deduped = self.queue.submit(
             spec, priority=priority, timeout=timeout
         )
         if deduped:
             self.store.note_coalesced()
+            ins.submissions_total.labels(via="coalesced").inc()
+            ins.jobs_total.labels(outcome="deduped").inc()
             emit(
                 "service.dedup_hit",
                 logger=_log,
@@ -272,6 +312,18 @@ class ExperimentService:
             )
         else:
             self._jobs[job.id] = job
+            ins.submissions_total.labels(via="queued").inc()
+            ins.queue_depth.set(self.queue.depth)
+        job.trace.add_span(
+            "admit",
+            start=admitted,
+            end=time.time(),
+            via="coalesced" if deduped else "queued",
+            experiment=spec.experiment,
+            hash=spec_hash,
+            priority=priority,
+            submissions=job.submissions,
+        )
         return job, "coalesced" if deduped else "queued"
 
     def _synthetic_job(self, spec: ExperimentSpec, result) -> Job:
@@ -295,18 +347,54 @@ class ExperimentService:
             return None
         if job.done:
             return False
-        return self.queue.cancel(job)
+        verdict = self.queue.cancel(job)
+        if verdict:
+            # Cancelled while queued: the job never reaches a worker,
+            # so account for it (and persist its trace) here.
+            self.instruments.jobs_total.labels(outcome="cancelled").inc()
+            self.instruments.queue_depth.set(self.queue.depth)
+            self._persist_trace(job)
+        return verdict
 
     # ------------------------------------------------------------------
-    # Execution (worker thread + loop-side success hook)
+    # Execution (worker thread + loop-side hooks)
     # ------------------------------------------------------------------
     def _execute(self, job: Job):
         """Blocking engine run (called from a worker thread)."""
+        self.instruments.engine_runs_total.inc()
         return self.session.run(job.spec)
 
     def _on_success(self, job: Job, result) -> None:
-        """Store the result before the job resolves (event loop)."""
-        self.store.put(result)
+        """Store the result before the job resolves (event loop).
+
+        Runs inside the worker's ``worker.run`` span context, so the
+        ``store.write`` span nests under it automatically.
+        """
+        with job.trace.span("store.write", hash=job.hash):
+            self.store.put(result)
+        self.instruments.store_entries.set(len(self.store))
+
+    def _on_finish(self, job: Job) -> None:
+        """Terminal-state hook (event loop): persist the job's trace."""
+        self._persist_trace(job)
+
+    def _persist_trace(self, job: Job) -> None:
+        """Best-effort write of ``<trace_dir>/<job_id>.json``."""
+        if self._trace_dir is None:
+            return
+        path = self._trace_dir / f"{job.id}.json"
+        try:
+            self._trace_dir.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(job.trace.export(), sort_keys=True),
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            _log.warning("could not persist trace for job %s: %r", job.id, exc)
+
+    def metrics_text(self) -> str:
+        """The instruments' Prometheus exposition (``GET /metrics``)."""
+        return self.instruments.render()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -349,8 +437,12 @@ class ExperimentService:
         }
 
     def healthz(self) -> dict:
+        from repro import __version__
+
         return {
             "status": "ok" if self._started else "stopped",
+            "version": __version__,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "uptime_seconds": (
                 round(time.time() - self._started_at, 3)
                 if self._started_at is not None
@@ -358,6 +450,7 @@ class ExperimentService:
             ),
             "workers": self.pool.workers,
             "queue_depth": self.queue.depth,
+            "runs_completed": self.session.runs_completed,
         }
 
     def __repr__(self) -> str:

@@ -191,6 +191,27 @@ class ServiceClient:
         """``DELETE /jobs/{id}`` (409 raises :class:`ServiceError`)."""
         return self._request("DELETE", f"/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> dict:
+        """``GET /jobs/{id}/trace``: the job's trace export (span JSON
+        plus a Chrome ``traceEvents`` array)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def metrics(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition (parse
+        with :func:`repro.obs.metrics.parse_exposition`)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        if response.status >= 400:
+            raise ServiceError(response.status, text)
+        return text
+
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 

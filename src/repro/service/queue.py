@@ -38,6 +38,8 @@ import itertools
 import time
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.trace import Trace
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.result import Result
     from repro.api.spec import ExperimentSpec
@@ -100,6 +102,7 @@ class Job:
         "result",
         "from_store",
         "cancel_requested",
+        "trace",
         "_done",
     )
 
@@ -126,12 +129,19 @@ class Job:
         self.result: "Result | None" = None
         self.from_store = False
         self.cancel_requested = False
+        # Every job carries its own trace from birth; spans are added
+        # by whoever touches the job (service admit, worker, engine).
+        self.trace = Trace(name=spec.experiment)
         self._done = asyncio.Event()
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
 
     async def wait(self, timeout: "float | None" = None) -> bool:
         """Block until the job reaches a terminal state.
@@ -190,6 +200,7 @@ class Job:
             "submissions": self.submissions,
             "from_store": self.from_store,
             "error": self.error,
+            "trace_id": self.trace.trace_id,
         }
         if include_result and self.result is not None:
             import json

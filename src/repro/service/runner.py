@@ -31,6 +31,7 @@ async def serve_forever(
     *,
     host: str = "127.0.0.1",
     port: int = 8765,
+    expose_metrics: bool = True,
     on_ready: "Callable[[ServiceServer], None] | None" = None,
     shutdown: "asyncio.Event | None" = None,
 ) -> ServiceServer:
@@ -70,7 +71,7 @@ async def serve_forever(
             continue  # non-main thread / platforms without loop signals
         installed.append(signum)
 
-    server = ServiceServer(service, host, port)
+    server = ServiceServer(service, host, port, expose_metrics=expose_metrics)
     await service.start()
     try:
         await server.start()

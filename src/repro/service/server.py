@@ -27,6 +27,13 @@ Routes
     from the store (``404`` on miss/expired).
 ``GET /healthz`` / ``GET /stats``
     Liveness and the service's counters digest.
+``GET /metrics``
+    The service's metrics registry in Prometheus text exposition format
+    (the one non-JSON route; disabled with ``expose_metrics=False`` /
+    ``serve --no-metrics``).
+``GET /jobs/{id}/trace``
+    The job's trace export: span JSON plus a Chrome ``traceEvents``
+    array in one payload.
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ _log = logging.getLogger(__name__)
 
 _MAX_BODY = 1 << 20  # 1 MiB: specs are small; refuse anything bigger
 _MAX_WAIT = 60.0  # long-poll cap per request
+
+#: Prometheus text exposition format version 0.0.4.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpError(Exception):
@@ -75,11 +85,17 @@ class ServiceServer:
     """Bind an :class:`ExperimentService` to a host/port."""
 
     def __init__(
-        self, service: ExperimentService, host: str = "127.0.0.1", port: int = 8765
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        expose_metrics: bool = True,
     ):
         self.service = service
         self.host = host
         self.port = port
+        self.expose_metrics = expose_metrics
         self._server: "asyncio.base_events.Server | None" = None
 
     # ------------------------------------------------------------------
@@ -107,8 +123,15 @@ class ServiceServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        content_type = "application/json"
         try:
-            status, payload = await self._handle_request(reader)
+            response = await self._handle_request(reader)
+            # Handlers return (status, payload) or, for the one
+            # non-JSON route, (status, payload, content_type).
+            if len(response) == 3:
+                status, payload, content_type = response
+            else:
+                status, payload = response
         except _HttpError as exc:
             status, payload = exc.status, {"error": exc.message}
         except Exception as exc:  # a handler bug must not kill the server
@@ -123,7 +146,7 @@ class ServiceServer:
             writer.write(
                 (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(body)}\r\n"
                     "Connection: close\r\n\r\n"
                 ).encode("ascii")
@@ -187,6 +210,10 @@ class ServiceServer:
             return self._post_job(body)
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
+            if job_id.endswith("/trace"):
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                return self._get_trace(job_id[: -len("/trace")])
             if method == "GET":
                 return await self._get_job(job_id, query)
             if method == "DELETE":
@@ -198,6 +225,14 @@ class ServiceServer:
             return 200, self.service.healthz()
         if path == "/stats" and method == "GET":
             return 200, self.service.stats()
+        if path == "/metrics" and method == "GET":
+            if not self.expose_metrics:
+                raise _HttpError(404, "metrics exposition is disabled")
+            return (
+                200,
+                self.service.metrics_text().encode("utf-8"),
+                _METRICS_CONTENT_TYPE,
+            )
         raise _HttpError(404, f"no route for {method} {path}")
 
     def _post_job(self, body: bytes) -> "tuple[int, object]":
@@ -257,6 +292,12 @@ class ServiceServer:
         job = self.service.job(job_id)
         payload = {"cancelled": verdict, "job": job.to_payload(include_result=False)}
         return (200 if verdict else 409), payload
+
+    def _get_trace(self, job_id: str) -> "tuple[int, object]":
+        job = self.service.job(job_id)
+        if job is None:
+            raise _HttpError(404, f"no job {job_id!r}")
+        return 200, job.trace.export()
 
     def _get_result(self, spec_hash: str) -> "tuple[int, object]":
         text = self.service.store.get_json(spec_hash)

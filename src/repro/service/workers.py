@@ -26,15 +26,30 @@ Per-job controls:
 
 Every transition emits ``service.job_start`` / ``service.job_retry`` /
 ``service.job_finish`` telemetry through :func:`repro.obs.emit`.
+
+Observability: claiming a job records its ``queue.wait`` span (from the
+admission timestamp) and the whole execution runs inside a
+``worker.run`` span.  The span is the ambient one for the worker
+coroutine, so it crosses ``asyncio.to_thread`` into ``Session.run``
+(which opens ``engine.execute`` as a child) and covers the
+``on_success`` hook (the service's ``store.write`` span nests under
+it).  When the pool is given
+:class:`~repro.service.instruments.ServiceInstruments`, outcome
+counters, latency/phase histograms, retry counts and worker-utilization
+gauges are updated at the same transitions.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Callable
+import time
+from typing import TYPE_CHECKING, Callable
 
 from repro.obs import emit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instruments import ServiceInstruments
 
 from .queue import (
     CANCELLED,
@@ -74,6 +89,13 @@ class WorkerPool:
         Optional hook ``on_success(job, result)`` invoked on the event
         loop before the job resolves (the service stores the result
         here, so waiters can never observe a done-but-unstored job).
+    on_finish:
+        Optional hook ``on_finish(job)`` invoked on the event loop after
+        the job settles in *any* terminal state (the service persists
+        the job's trace here).  A raising hook is logged, not fatal.
+    instruments:
+        Optional :class:`~repro.service.instruments.ServiceInstruments`
+        receiving outcome/latency/utilization updates.
     """
 
     def __init__(
@@ -87,6 +109,8 @@ class WorkerPool:
         retry_backoff: float = 0.1,
         transient: "tuple[type[BaseException], ...]" = (ConnectionError, OSError),
         on_success: "Callable[[Job, object], None] | None" = None,
+        on_finish: "Callable[[Job], None] | None" = None,
+        instruments: "ServiceInstruments | None" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -100,6 +124,10 @@ class WorkerPool:
         self.retry_backoff = retry_backoff
         self.transient = transient
         self._on_success = on_success
+        self._on_finish = on_finish
+        self._instruments = instruments
+        if instruments is not None:
+            instruments.workers_total.set(workers)
         self._tasks: "list[asyncio.Task]" = []
         self.executed = 0  # attempts that ran to completion (any outcome)
         self.active = 0  # jobs currently executing
@@ -140,9 +168,33 @@ class WorkerPool:
             finally:
                 self._queue.release(job)
 
+    #: Job terminal states → ``repro_jobs_total`` outcome labels.
+    _OUTCOMES = {
+        "done": "ok",
+        "failed": "error",
+        "timeout": "timeout",
+        "cancelled": "cancelled",
+    }
+
     async def _run_job(self, job: Job) -> None:
         # queue.get() already marked the job running.
         self.active += 1
+        ins = self._instruments
+        if job.started is not None:
+            # The admission-to-claim interval, observed after the fact.
+            wait = max(job.started - job.created, 0.0)
+            job.trace.add_span(
+                "queue.wait",
+                start=job.created,
+                end=job.started,
+                priority=job.priority,
+            )
+            if ins is not None:
+                ins.queue_wait_seconds.observe(wait)
+                ins.job_phase_seconds.labels(phase="queue.wait").observe(wait)
+                ins.queue_depth.set(self._queue.depth)
+        if ins is not None:
+            ins.workers_busy.inc()
         emit(
             "service.job_start",
             logger=_log,
@@ -154,52 +206,86 @@ class WorkerPool:
             submissions=job.submissions,
         )
         timeout = job.timeout if job.timeout is not None else self.job_timeout
+        claimed = time.monotonic()
         try:
-            while True:
-                job.attempts += 1
-                try:
-                    result = await asyncio.wait_for(
-                        asyncio.to_thread(self._execute, job), timeout
-                    )
-                except asyncio.TimeoutError:
-                    job.reject(
-                        TIMEOUT,
-                        f"attempt {job.attempts} exceeded {timeout}s",
-                    )
-                    break
-                except asyncio.CancelledError:
-                    job.reject(CANCELLED, "worker cancelled")
-                    raise
-                except self.transient as exc:
-                    if job.attempts <= self.max_retries and not job.cancel_requested:
-                        delay = self.retry_backoff * 2 ** (job.attempts - 1)
-                        emit(
-                            "service.job_retry",
-                            logger=_log,
-                            level=logging.WARNING,
-                            job=job.id,
-                            attempt=job.attempts,
-                            delay=round(delay, 3),
-                            error=repr(exc),
+            # worker.run is the ambient span for everything this job
+            # does from here: Session.run's engine.execute child (via
+            # the to_thread context copy) and the on_success hook both
+            # nest under it.
+            with job.trace.span(
+                "worker.run",
+                job=job.id,
+                experiment=job.spec.experiment,
+                submissions=job.submissions,
+            ) as span:
+                while True:
+                    job.attempts += 1
+                    try:
+                        result = await asyncio.wait_for(
+                            asyncio.to_thread(self._execute, job), timeout
                         )
-                        await asyncio.sleep(delay)
-                        continue
-                    job.reject(FAILED, repr(exc))
-                    break
-                except BaseException as exc:
-                    job.reject(FAILED, repr(exc))
-                    break
-                else:
-                    if job.cancel_requested:
-                        job.reject(CANCELLED, "cancelled while running")
+                    except asyncio.TimeoutError:
+                        job.reject(
+                            TIMEOUT,
+                            f"attempt {job.attempts} exceeded {timeout}s",
+                        )
+                        break
+                    except asyncio.CancelledError:
+                        job.reject(CANCELLED, "worker cancelled")
+                        raise
+                    except self.transient as exc:
+                        if job.attempts <= self.max_retries and not job.cancel_requested:
+                            delay = self.retry_backoff * 2 ** (job.attempts - 1)
+                            emit(
+                                "service.job_retry",
+                                logger=_log,
+                                level=logging.WARNING,
+                                job=job.id,
+                                attempt=job.attempts,
+                                delay=round(delay, 3),
+                                error=repr(exc),
+                            )
+                            span.add_event(
+                                "retry", attempt=job.attempts, error=repr(exc)
+                            )
+                            if ins is not None:
+                                ins.job_retries_total.inc()
+                            await asyncio.sleep(delay)
+                            continue
+                        job.reject(FAILED, repr(exc))
+                        break
+                    except BaseException as exc:
+                        job.reject(FAILED, repr(exc))
+                        break
                     else:
-                        if self._on_success is not None:
-                            self._on_success(job, result)
-                        job.resolve(result)
-                    break
+                        if job.cancel_requested:
+                            job.reject(CANCELLED, "cancelled while running")
+                        else:
+                            if self._on_success is not None:
+                                self._on_success(job, result)
+                            job.resolve(result)
+                        break
+                span.set(state=job.state, attempts=job.attempts)
         finally:
             self.active -= 1
             self.executed += 1
+            elapsed = (
+                round(job.finished - job.started, 6)
+                if job.finished is not None and job.started is not None
+                else None
+            )
+            if ins is not None:
+                ins.workers_busy.dec()
+                ins.worker_busy_seconds_total.inc(time.monotonic() - claimed)
+                ins.jobs_total.labels(
+                    outcome=self._OUTCOMES.get(job.state, job.state)
+                ).inc()
+                if elapsed is not None:
+                    ins.job_phase_seconds.labels(phase="worker.run").observe(elapsed)
+                if job.finished is not None:
+                    ins.job_latency_seconds.labels(
+                        experiment=job.spec.experiment
+                    ).observe(job.finished - job.created)
             emit(
                 "service.job_finish",
                 logger=_log,
@@ -208,13 +294,16 @@ class WorkerPool:
                 hash=job.hash,
                 state=job.state,
                 attempts=job.attempts,
-                elapsed=(
-                    round(job.finished - job.started, 6)
-                    if job.finished is not None and job.started is not None
-                    else None
-                ),
+                elapsed=elapsed,
                 error=job.error,
             )
+            if self._on_finish is not None:
+                try:
+                    self._on_finish(job)
+                except Exception:
+                    _log.warning(
+                        "on_finish hook raised for job %s", job.id, exc_info=True
+                    )
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,14 @@ zero external fetches, stdlib only):
     tolerance bands (``benchmarks/tolerances.json``).  The ingested
     numbers are embedded under ``id="repro-bench-trend"``.
 
+:func:`render_timeline` / :func:`write_timeline`
+    One persisted job trace (the service's ``--trace-dir`` files or a
+    saved ``GET /jobs/{id}/trace`` response) → a span-timeline gantt
+    with per-span offsets/durations/events and the exact trace payload
+    embedded under ``id="repro-trace"`` (which keeps it loadable in
+    ``chrome://tracing``/Perfetto too).  CLI:
+    ``python -m repro trace job.json -o timeline.html``.
+
 :mod:`repro.viz.bench`
     The shared benchmark-record semantics both the dashboard and the
     gating ``benchmarks/compare.py`` CI step use: loading/flattening
@@ -32,6 +40,7 @@ Both renderers are exposed on the CLI as ``python -m repro report`` and
 
 from .bench import Tolerances, compare_records, direction, flatten, load_bench_dir
 from .report import render_report, write_report
+from .timeline import load_trace, render_timeline, write_timeline
 from .trend import load_runs, render_trend, write_trend
 
 __all__ = [
@@ -41,8 +50,11 @@ __all__ = [
     "flatten",
     "load_bench_dir",
     "load_runs",
+    "load_trace",
     "render_report",
+    "render_timeline",
     "render_trend",
     "write_report",
+    "write_timeline",
     "write_trend",
 ]

@@ -1,0 +1,241 @@
+"""Render one job trace as a self-contained HTML span timeline.
+
+Input is a persisted trace payload — either the
+:meth:`repro.obs.trace.Trace.export` shape the service writes per job
+(``{"traceEvents": [...], "trace": {...}}``, also what
+``GET /jobs/{id}/trace`` returns) or a bare
+:meth:`~repro.obs.trace.Trace.to_dict` span JSON.  Output follows the
+project's report pattern: one HTML file, inline SVG, zero external
+fetches, the exact input payload embedded under
+``<script type="application/json" id="repro-trace">`` so the timeline
+doubles as a lossless carrier of its own trace (and, via the
+``traceEvents`` key, stays loadable in ``chrome://tracing``/Perfetto).
+
+The gantt lays spans out on a shared time axis, indented by parent
+depth, with span events as tick markers; the table below lists every
+span with offsets, durations, threads and attributes.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from ._page import embed_json, page
+
+__all__ = ["TRACE_JSON_ID", "load_trace", "render_timeline", "write_timeline"]
+
+#: DOM id of the embedded trace JSON block.
+TRACE_JSON_ID = "repro-trace"
+
+#: Bar fills cycled per span name (CSS fallbacks keep dark mode legible).
+_PALETTE = ("#2a78d6", "#2f9e62", "#c2701e", "#8e5bc0", "#c24a4a", "#3b8ea5")
+
+_TIMELINE_CSS = """
+.tl-lane { fill: var(--viz-surface-raised); }
+.tl-label { fill: var(--viz-ink-secondary); font-size: 11px;
+  font-family: ui-monospace, Menlo, Consolas, monospace; }
+.tl-event { fill: var(--viz-ink); fill-opacity: .75; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def load_trace(source: "str | Path") -> dict:
+    """Read and normalize a persisted trace payload.
+
+    Returns the export-shaped dict (``{"trace": {...}, ...}``); a bare
+    span-JSON file is wrapped.  Raises :class:`ValueError` when the file
+    is not a trace of either shape.
+    """
+    path = Path(source)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not JSON: {exc}") from exc
+    if isinstance(payload, dict) and isinstance(payload.get("trace"), dict):
+        trace = payload["trace"]
+    elif isinstance(payload, dict) and "spans" in payload:
+        trace, payload = payload, {"trace": payload}
+    else:
+        raise ValueError(
+            f"{path} is not a trace export (expected a 'trace' object or "
+            "a 'spans' list)"
+        )
+    if not isinstance(trace.get("spans"), list) or "trace_id" not in trace:
+        raise ValueError(f"{path}: trace object needs 'trace_id' and 'spans'")
+    return payload
+
+
+def _depths(spans: "list[dict]") -> "dict[str, int]":
+    by_id = {s.get("span_id"): s for s in spans}
+    depths: "dict[str, int]" = {}
+
+    def depth(span_id: str) -> int:
+        if span_id in depths:
+            return depths[span_id]
+        parent = by_id.get(span_id, {}).get("parent_id")
+        # Cap the walk so a malformed cyclic payload cannot hang us.
+        depths[span_id] = (
+            depth(parent) + 1
+            if parent in by_id and parent != span_id and len(depths) < len(spans) * 2
+            else 0
+        )
+        return depths[span_id]
+
+    for span in spans:
+        depth(span.get("span_id"))
+    return depths
+
+
+def _gantt(trace: dict) -> str:
+    spans = sorted(
+        trace.get("spans", ()),
+        key=lambda s: (s.get("start", 0.0), str(s.get("span_id"))),
+    )
+    if not spans:
+        return "<p>This trace contains no finished spans.</p>"
+    t0 = min(s.get("start", 0.0) for s in spans)
+    t1 = max(s.get("end") or s.get("start", 0.0) for s in spans)
+    total = max(t1 - t0, 1e-9)
+    depths = _depths(spans)
+    colors = {}
+    for span in spans:
+        name = span.get("name", "")
+        colors.setdefault(name, _PALETTE[len(colors) % len(_PALETTE)])
+
+    gutter, plot_w, row_h, bar_h, pad_top = 210, 760, 24, 14, 26
+    width = gutter + plot_w + 20
+    height = pad_top + row_h * len(spans) + 24
+
+    def x_of(t: float) -> float:
+        return gutter + (t - t0) / total * plot_w
+
+    parts = [
+        f'<svg class="viz-chart" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img" '
+        'aria-label="span timeline">'
+    ]
+    # Time grid: quarter ticks labelled in milliseconds from trace start.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        x = gutter + frac * plot_w
+        parts.append(
+            f'<line class="viz-grid" x1="{x:.1f}" y1="{pad_top - 8}" '
+            f'x2="{x:.1f}" y2="{height - 20}"/>'
+            f'<text class="viz-tick" x="{x:.1f}" y="{pad_top - 12}" '
+            f'text-anchor="middle">{frac * total * 1e3:.2f} ms</text>'
+        )
+    for i, span in enumerate(spans):
+        y = pad_top + i * row_h
+        name = span.get("name", "?")
+        start = span.get("start", t0)
+        end = span.get("end") or start
+        x = x_of(start)
+        w = max((end - start) / total * plot_w, 2.0)
+        indent = min(depths.get(span.get("span_id"), 0), 8) * 12
+        duration = span.get("duration")
+        dur_text = f"{duration * 1e3:.3f} ms" if duration is not None else "open"
+        parts.append(
+            f'<rect class="tl-lane" x="{gutter}" y="{y}" '
+            f'width="{plot_w}" height="{row_h - 2}"/>'
+            f'<text class="tl-label" x="{8 + indent}" '
+            f'y="{y + row_h / 2 + 4}">{_esc(name)}</text>'
+            f'<rect x="{x:.1f}" y="{y + (row_h - bar_h) / 2 - 1}" '
+            f'width="{w:.1f}" height="{bar_h}" rx="2" '
+            f'fill="{colors[name]}">'
+            f"<title>{_esc(name)} — {dur_text} "
+            f"({_esc(span.get('thread', '?'))})</title></rect>"
+        )
+        for event in span.get("events", ()):
+            ex = x_of(event.get("t", start))
+            parts.append(
+                f'<circle class="tl-event" cx="{ex:.1f}" '
+                f'cy="{y + row_h / 2 - 1}" r="2.5">'
+                f"<title>{_esc(event.get('name', '?'))} at "
+                f"{(event.get('t', start) - t0) * 1e3:.3f} ms</title></circle>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _span_table(trace: dict) -> str:
+    spans = sorted(
+        trace.get("spans", ()),
+        key=lambda s: (s.get("start", 0.0), str(s.get("span_id"))),
+    )
+    if not spans:
+        return ""
+    t0 = min(s.get("start", 0.0) for s in spans)
+    depths = _depths(spans)
+    rows = []
+    for span in spans:
+        indent = " " * 3 * min(depths.get(span.get("span_id"), 0), 8)
+        duration = span.get("duration")
+        attrs = span.get("attrs") or {}
+        attr_text = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        dur_text = f"{duration * 1e3:.3f}" if duration is not None else "—"
+        rows.append(
+            "<tr>"
+            f"<td class=\"mono\">{indent}{_esc(span.get('name', '?'))}</td>"
+            f"<td class=\"mono\">{_esc(span.get('span_id', ''))}</td>"
+            f"<td class=\"num\">{(span.get('start', t0) - t0) * 1e3:.3f}</td>"
+            f'<td class="num">{dur_text}</td>'
+            f"<td>{_esc(span.get('thread', ''))}</td>"
+            f"<td class=\"num\">{len(span.get('events', ()))}</td>"
+            f"<td class=\"mono\">{_esc(attr_text)}</td></tr>"
+        )
+    return (
+        "<table><thead><tr><th>span</th><th>id</th>"
+        '<th class="num">offset (ms)</th><th class="num">duration (ms)</th>'
+        '<th>thread</th><th class="num">events</th><th>attributes</th>'
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def render_timeline(payload: dict, *, title: "str | None" = None) -> str:
+    """The trace payload as a self-contained HTML page (string)."""
+    trace = payload.get("trace", payload)
+    spans = trace.get("spans", ())
+    durations = [s.get("end") or 0.0 for s in spans if s.get("end")]
+    starts = [s.get("start", 0.0) for s in spans]
+    total_ms = (
+        (max(durations) - min(starts)) * 1e3 if durations and starts else 0.0
+    )
+    heading = title or (
+        f"Trace {trace.get('trace_id', '?')[:12]}"
+        + (f" — {trace['name']}" if trace.get("name") else "")
+    )
+    cards = "".join(
+        f'<div class="card"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{_esc(value)}</div></div>'
+        for label, value in (
+            ("trace id", trace.get("trace_id", "?")[:16]),
+            ("job", trace.get("name") or "—"),
+            ("spans", len(spans)),
+            ("total", f"{total_ms:.2f} ms"),
+        )
+    )
+    body = (
+        f"<style>{_TIMELINE_CSS}</style>"
+        f"<h1>{_esc(heading)}</h1>"
+        '<p class="subtitle">Span timeline — one row per span, indented '
+        "by parent; dots are span events. The embedded JSON also loads "
+        "in chrome://tracing / Perfetto (traceEvents).</p>"
+        f'<div class="cards">{cards}</div>'
+        f"<h2>Timeline</h2>{_gantt(trace)}"
+        f"<h2>Spans</h2>{_span_table(trace)}"
+        + embed_json(TRACE_JSON_ID, json.dumps(payload, sort_keys=True))
+    )
+    return page(heading, body, generator="repro.viz.timeline")
+
+
+def write_timeline(
+    payload: dict, path: "str | Path", *, title: "str | None" = None
+) -> Path:
+    """Render ``payload`` and write it to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_timeline(payload, title=title), encoding="utf-8")
+    return path

@@ -281,6 +281,49 @@ class TestBenchTrendCommand:
         assert "tolerance" in capsys.readouterr().err
 
 
+class TestTraceCommand:
+    """Tentpole surface: `python -m repro trace JOB.json -o timeline.html`."""
+
+    @staticmethod
+    def _trace_file(tmp_path):
+        from repro.obs.trace import Trace
+
+        trace = Trace(name="fig3.coverage")
+        with trace.span("worker.run"):
+            with trace.span("engine.execute"):
+                pass
+        path = tmp_path / "j000001.json"
+        path.write_text(json.dumps(trace.export()))
+        return path
+
+    def test_trace_renders_default_output(self, capsys, tmp_path):
+        source = self._trace_file(tmp_path)
+        assert main(["trace", str(source)]) == 0
+        out_path = tmp_path / "j000001.html"
+        assert out_path.is_file()
+        text = out_path.read_text()
+        assert 'id="repro-trace"' in text
+        assert "<svg" in text
+        assert "engine.execute" in text
+        assert str(out_path) in capsys.readouterr().err  # "wrote ..." note
+
+    def test_trace_output_flag(self, capsys, tmp_path):
+        source = self._trace_file(tmp_path)
+        out_path = tmp_path / "custom.html"
+        assert main(["trace", str(source), "-o", str(out_path)]) == 0
+        assert out_path.is_file()
+
+    def test_trace_missing_file_exits_usage_error(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_trace_non_trace_file_exits_usage_error(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": "world"}')
+        assert main(["trace", str(bogus)]) == 2
+        assert "not a trace" in capsys.readouterr().err
+
+
 @pytest.mark.parametrize("argv", [["list"], ["run", "fig1.storage", "-q"]])
 def test_python_dash_m_entry_point(argv):
     """`python -m repro ...` works end to end in a fresh interpreter."""
@@ -412,15 +455,18 @@ class TestServeCommand:
         assert main(argv) == 2
         assert "error:" in capsys.readouterr().err
 
-    def test_serve_sigterm_drains_and_exits_zero(self):
+    def test_serve_sigterm_drains_and_exits_zero(self, tmp_path):
         import signal
+        import time
 
-        from repro.service import ServiceClient
+        from repro.service import ServiceClient, ServiceError
 
+        trace_dir = tmp_path / "traces"
         proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
                 "--port", "0", "--workers", "1",
+                "--no-metrics", "--trace-dir", str(trace_dir),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -438,6 +484,18 @@ class TestServeCommand:
                 params={"years": [1.0]},
             )
             assert job["state"] == "done"
+            # --no-metrics: the exposition endpoint is switched off ...
+            with pytest.raises(ServiceError) as excinfo:
+                client.metrics()
+            assert excinfo.value.status == 404
+            # ... and --trace-dir persists the settled job's trace.
+            trace_path = trace_dir / f"{job['id']}.json"
+            deadline = 100
+            while not trace_path.is_file() and deadline:
+                deadline -= 1
+                time.sleep(0.1)
+            payload = json.loads(trace_path.read_text())
+            assert payload["trace"]["trace_id"] == job["trace_id"]
             proc.send_signal(signal.SIGTERM)
             proc.wait(timeout=30.0)
             assert proc.returncode == 0, proc.stderr.read()

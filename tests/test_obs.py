@@ -83,6 +83,90 @@ class TestRecorder:
         assert [e["event"] for e in seen] == ["one", "two"]
 
 
+class TestTimerNesting:
+    """Satellite: nested `with` on one Timer merges, warns once, loses
+    nothing (re-entry used to silently reset the running interval)."""
+
+    def test_nested_enter_merges_into_outermost_interval(self, caplog):
+        recorder = RunRecorder()
+        timer = recorder.timer("phase")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            with timer:
+                with timer:  # e.g. a sweep re-timing its own phase
+                    pass
+                assert timer.count == 0  # inner exit closes nothing
+        assert timer.count == 1  # one merged interval, not two
+        assert timer.seconds >= 0.0
+        warnings = [
+            r for r in caplog.records if "re-entered" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_warning_fires_only_once_per_timer(self, caplog):
+        timer = RunRecorder().timer("phase")
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            for _ in range(3):
+                with timer:
+                    with timer:
+                        pass
+        assert timer.count == 3
+        warnings = [
+            r for r in caplog.records if "re-entered" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_unbalanced_exit_is_harmless(self):
+        timer = RunRecorder().timer("phase")
+        timer.__exit__(None, None, None)  # never entered
+        assert timer.count == 0
+        with timer:
+            pass
+        assert timer.count == 1
+
+
+class TestRecorderThreadSafety:
+    """Satellite: the sharded executor's merge loop and service workers
+    hammer one recorder from many threads at once."""
+
+    THREADS = 8
+    PER_THREAD = 200
+
+    def test_concurrent_record_and_incr_lose_nothing(self):
+        import threading
+
+        recorder = RunRecorder()
+        seen = []
+        recorder.subscribe(seen.append)
+        start = threading.Barrier(self.THREADS)
+
+        def hammer(tid: int) -> None:
+            start.wait()
+            for i in range(self.PER_THREAD):
+                recorder.record("engine.shard", tid=tid, i=i)
+                recorder.incr("shards.finished")
+                with recorder.timer(f"t{tid}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = self.THREADS * self.PER_THREAD
+        assert len(recorder.events) == total
+        assert recorder.counter("events.engine.shard").value == total
+        assert recorder.counter("shards.finished").value == total
+        assert len(seen) == total  # every event reached the subscriber
+        timers = recorder.summary()["phases"]
+        assert sum(t["count"] for t in timers.values()) == total
+        # The merged stream is still serializable event-per-line.
+        assert len(recorder.to_jsonl().splitlines()) == total
+
+
 class TestEmit:
     def test_emit_without_recorder_is_harmless(self):
         assert current_recorder() is None

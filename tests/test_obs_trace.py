@@ -1,0 +1,195 @@
+"""Tracing: span nesting, contextvar propagation, export shapes.
+
+The load-bearing guarantee is contextvar propagation across
+``asyncio.to_thread`` — the service opens ``worker.run`` on the event
+loop and ``Session.run`` (inside a worker thread) parents
+``engine.execute`` under it with no explicit plumbing.  The export
+tests pin the two persisted shapes: the project span JSON and the
+Chrome ``trace_event`` array.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    current_span,
+    current_trace,
+    new_trace_id,
+    use_span,
+)
+
+
+class TestSpanBasics:
+    def test_trace_ids_are_unique_32_hex(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(i) == 32 and int(i, 16) >= 0 for i in ids)
+
+    def test_span_context_manager_finishes_and_registers(self):
+        trace = Trace(name="job")
+        with trace.span("work", kind="test") as span:
+            assert span.end is None
+            assert current_span() is span
+            assert current_trace() is trace
+        assert current_span() is None
+        assert span.end is not None
+        assert span.duration >= 0.0
+        assert trace.spans == [span]
+        assert span.attrs["kind"] == "test"
+
+    def test_nested_spans_parent_automatically(self):
+        trace = Trace()
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_foreign_trace_does_not_parent(self):
+        mine, other = Trace(), Trace()
+        with mine.span("outer"):
+            with other.span("inner") as inner:
+                assert inner.parent_id is None
+
+    def test_exception_recorded_as_error_attr_and_reraised(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("doomed") as span:
+                raise RuntimeError("boom")
+        assert span.end is not None  # still finished
+        assert "RuntimeError" in span.attrs["error"]
+
+    def test_add_span_records_explicit_interval(self):
+        trace = Trace()
+        span = trace.add_span("queue.wait", start=10.0, end=12.5, priority=1)
+        assert span.start == 10.0
+        assert span.end == 12.5
+        assert span.duration == 2.5
+        assert span.attrs["priority"] == 1
+
+    def test_finish_is_idempotent(self):
+        trace = Trace()
+        span = trace.add_span("x", start=1.0, end=2.0)
+        span.finish(99.0)
+        assert span.end == 2.0
+        assert len(trace) == 1  # not registered twice
+
+    def test_add_event_name_is_positional_only(self):
+        # Recorder events forward arbitrary fields as **attrs; a field
+        # called "name" must not collide with the positional name.
+        trace = Trace()
+        with trace.span("s") as span:
+            event = span.add_event("cache.hit", name="field-value", key="k")
+        assert event["name"] == "cache.hit"
+        assert event["attrs"] == {"name": "field-value", "key": "k"}
+
+    def test_use_span_installs_without_finishing(self):
+        trace = Trace()
+        span = trace._new_span("manual", start=0.0, parent_id=None, attrs={})
+        with use_span(span):
+            assert current_span() is span
+        assert current_span() is None
+        assert span.end is None  # lifecycle stays with the caller
+
+
+class TestPropagation:
+    def test_ambient_span_crosses_to_thread(self):
+        """The service's exact shape: span opened on the loop, child
+        opened inside asyncio.to_thread."""
+        trace = Trace(name="job")
+        seen = {}
+
+        def work() -> None:
+            seen["thread_span"] = current_span()
+            with trace.span("engine.execute") as child:
+                seen["child"] = child
+
+        async def main() -> None:
+            with trace.span("worker.run") as parent:
+                seen["parent"] = parent
+                await asyncio.to_thread(work)
+
+        asyncio.run(main())
+        assert seen["thread_span"] is seen["parent"]
+        assert seen["child"].parent_id == seen["parent"].span_id
+        assert seen["child"].thread != seen["parent"].thread
+
+    def test_plain_thread_does_not_inherit(self):
+        # Only context-copying entry points (to_thread) propagate.
+        trace = Trace()
+        seen = {}
+
+        def work() -> None:
+            seen["span"] = current_span()
+
+        with trace.span("outer"):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert seen["span"] is None
+
+    def test_concurrent_span_creation_is_safe(self):
+        trace = Trace()
+        barrier = threading.Barrier(8)
+
+        def work(i: int) -> None:
+            barrier.wait()
+            for j in range(50):
+                with trace.span(f"t{i}.{j}") as span:
+                    span.add_event("tick", j=j)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = trace.spans
+        assert len(spans) == 400
+        assert len({s.span_id for s in spans}) == 400
+
+
+class TestExport:
+    def make_trace(self) -> Trace:
+        trace = Trace(name="fig3.coverage")
+        with trace.span("worker.run", job="j000001"):
+            with trace.span("engine.execute") as inner:
+                inner.add_event("engine.shard", blocks=2)
+        trace.add_span("queue.wait", start=trace.created, end=trace.created + 0.5)
+        return trace
+
+    def test_to_dict_shape_and_ordering(self):
+        trace = self.make_trace()
+        payload = trace.to_dict()
+        assert payload["schema"] == TRACE_SCHEMA_VERSION
+        assert payload["trace_id"] == trace.trace_id
+        assert payload["name"] == "fig3.coverage"
+        starts = [s["start"] for s in payload["spans"]]
+        assert starts == sorted(starts)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_to_chrome_events_are_well_formed(self):
+        events = self.make_trace().to_chrome()
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 3
+        assert len(instants) == 1
+        assert metadata and all(e["name"] == "thread_name" for e in metadata)
+        for event in complete:
+            assert event["dur"] >= 0.0
+            assert {"name", "ts", "pid", "tid", "args"} <= event.keys()
+            assert "span_id" in event["args"]
+
+    def test_export_carries_both_shapes(self):
+        trace = self.make_trace()
+        export = trace.export()
+        assert export["displayTimeUnit"] == "ms"
+        assert all("ph" in e for e in export["traceEvents"])
+        assert export["trace"]["trace_id"] == trace.trace_id
+        json.dumps(export)  # fully serializable as persisted

@@ -10,15 +10,19 @@ test: ≥1000 submissions of ~50 unique specs against a running service.
 from __future__ import annotations
 
 import asyncio
+import http.client
 import json
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+import repro
 from repro.api import ExperimentSpec
 from repro.api.result import Result
+from repro.obs.metrics import MetricsRegistry, parse_exposition
 from repro.service import (
     ExperimentService,
     JobFailedError,
@@ -35,7 +39,8 @@ def spec(i: int = 0) -> ExperimentSpec:
 class LiveService:
     """serve_forever on a daemon thread; stop via the shutdown event."""
 
-    def __init__(self, **service_kwargs):
+    def __init__(self, expose_metrics: bool = True, **service_kwargs):
+        self._expose_metrics = expose_metrics
         self._kwargs = service_kwargs
         self._ready = threading.Event()
         self._loop: "asyncio.AbstractEventLoop | None" = None
@@ -61,6 +66,7 @@ class LiveService:
                 self.service,
                 host="127.0.0.1",
                 port=0,
+                expose_metrics=self._expose_metrics,
                 on_ready=on_ready,
                 shutdown=self._stop,
             )
@@ -129,6 +135,12 @@ class TestHealthAndStats:
         payload = client.wait_ready()
         assert payload["status"] == "ok"
         assert payload["workers"] == 2
+
+    def test_healthz_reports_version_schema_and_runs(self, client):
+        payload = client.healthz()
+        assert payload["version"] == repro.__version__
+        assert payload["schema_version"] >= 1
+        assert isinstance(payload["runs_completed"], int)
 
     def test_stats_shape(self, client):
         stats = client.stats()
@@ -268,6 +280,106 @@ class TestCancelAndBackpressure:
             live.stop()
 
 
+class TestMetricsAndTrace:
+    """GET /metrics exposition and the per-job trace surface."""
+
+    def test_metrics_endpoint_content_type_and_parses(self, live, client):
+        client.run(spec(10), timeout=60.0)
+        connection = http.client.HTTPConnection("127.0.0.1", live.port, timeout=10.0)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        parsed = parse_exposition(body)
+        assert parsed["repro_jobs_total"][(("outcome", "ok"),)] >= 1
+        # Other tests' services share the process-global registry, so
+        # only the fresh-registry soak asserts exact values.
+        assert parsed["repro_workers_total"][()] >= 1
+        assert "repro_queue_wait_seconds_count" in parsed
+
+    def test_job_payload_carries_trace_id(self, client):
+        job = client.run(spec(11), timeout=60.0)
+        assert len(job["trace_id"]) == 32
+
+    def test_trace_endpoint_returns_full_span_tree(self, client):
+        job = client.run(spec(12), timeout=60.0)
+        export = client.trace(job["id"])
+        trace = export["trace"]
+        assert trace["trace_id"] == job["trace_id"]
+        names = [s["name"] for s in trace["spans"]]
+        for expected in (
+            "admit", "queue.wait", "worker.run", "engine.execute", "store.write",
+        ):
+            assert expected in names, names
+        # Chrome viewers load the same payload via traceEvents.
+        assert all("ph" in e for e in export["traceEvents"])
+        # And the run's result telemetry points back at the same trace.
+        telemetry = job["result"]["meta"]["telemetry"]
+        assert telemetry["trace_id"] == job["trace_id"]
+
+    def test_store_hit_submission_gets_its_own_trace(self, client):
+        client.run(spec(13), timeout=60.0)
+        again = client.submit(spec(13))
+        assert again["via"] == "store"
+        export = client.trace(again["job"]["id"])
+        assert [s["name"] for s in export["trace"]["spans"]] == ["admit"]
+
+    def test_trace_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("j999999")
+        assert excinfo.value.status == 404
+
+    def test_trace_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/jobs/j000001/trace", {})
+        assert excinfo.value.status == 405
+
+    def test_trace_dir_persists_renderable_chrome_loadable_traces(
+        self, tmp_path
+    ):
+        from repro.viz import load_trace, render_timeline
+
+        trace_dir = tmp_path / "traces"
+        live = LiveService(workers=1, trace_dir=trace_dir).start()
+        try:
+            client = live.client()
+            client.wait_ready()
+            job = client.run(spec(14), timeout=60.0)
+            path = trace_dir / f"{job['id']}.json"
+            deadline = time.monotonic() + 10.0
+            while not path.is_file() and time.monotonic() < deadline:
+                time.sleep(0.05)  # persisted just after terminal state
+            payload = load_trace(path)
+            assert payload["trace"]["trace_id"] == job["trace_id"]
+            # Chrome/Perfetto shape: a top-level traceEvents array of
+            # phased events.
+            raw = json.loads(path.read_text())
+            assert all("ph" in e for e in raw["traceEvents"])
+            # And it renders to the self-contained HTML timeline.
+            html_text = render_timeline(payload)
+            assert 'id="repro-trace"' in html_text
+            assert "engine.execute" in html_text
+        finally:
+            live.stop()
+
+    def test_metrics_can_be_disabled(self):
+        live = LiveService(expose_metrics=False, workers=1).start()
+        try:
+            client = live.client()
+            client.wait_ready()  # the rest of the API is unaffected
+            with pytest.raises(ServiceError) as excinfo:
+                client.metrics()
+            assert excinfo.value.status == 404
+        finally:
+            live.stop()
+
+
 class TestSoak:
     """ISSUE acceptance: ≥1000 submissions, ~50 unique, one run each."""
 
@@ -275,8 +387,24 @@ class TestSoak:
     TOTAL = 1000
     THREADS = 16
 
+    @staticmethod
+    def _await_sample(client, name, labels, expected):
+        """Scrape until the sample reaches ``expected`` (or ~10s): job
+        terminal-state visibility slightly precedes the worker's final
+        metric increments, so an immediate scrape can be one short."""
+        labels = tuple(sorted(labels))
+        deadline = time.monotonic() + 10.0
+        while True:
+            value = parse_exposition(client.metrics()).get(name, {}).get(
+                labels, 0.0
+            )
+            if value == expected or time.monotonic() >= deadline:
+                return value
+            time.sleep(0.05)
+
     def test_soak_dedup_and_store(self):
-        live = LiveService(workers=4).start()
+        registry = MetricsRegistry()  # fresh: exact counts, no bleed-over
+        live = LiveService(workers=4, registry=registry).start()
         try:
             client = live.client()
             client.wait_ready()
@@ -286,6 +414,13 @@ class TestSoak:
 
             with ThreadPoolExecutor(max_workers=self.THREADS) as pool:
                 submissions = list(pool.map(client.submit, specs))
+
+            # Mid-soak (jobs still running): the exposition stays valid.
+            mid = parse_exposition(client.metrics())
+            assert "repro_queue_depth" in mid
+            assert sum(mid["repro_service_submissions_total"].values()) == (
+                self.TOTAL
+            )
 
             # Every submission was admitted on one of the three paths.
             assert len(submissions) == self.TOTAL
@@ -317,6 +452,37 @@ class TestSoak:
             assert stats["queue"]["depth"] == 0
             assert stats["dedup"]["hits"] == stats["queue"]["coalesced"]
             assert stats["store"]["hit_rate"] is not None
+
+            # The scraped metrics tell the same story, exactly: 50
+            # engine runs, 950 deduplicated submissions, every executed
+            # job observed end to end.
+            assert self._await_sample(
+                client, "repro_engine_runs_total", (), self.UNIQUE
+            ) == self.UNIQUE
+            assert self._await_sample(
+                client, "repro_jobs_total", (("outcome", "ok"),), self.UNIQUE
+            ) == self.UNIQUE
+            parsed = parse_exposition(client.metrics())
+            assert parsed["repro_jobs_total"][(("outcome", "deduped"),)] == (
+                duplicates
+            )
+            vias_scraped = parsed["repro_service_submissions_total"]
+            assert vias_scraped[(("via", "queued"),)] == self.UNIQUE
+            assert (
+                vias_scraped.get((("via", "coalesced"),), 0.0)
+                + vias_scraped.get((("via", "store"),), 0.0)
+                == duplicates
+            )
+            # Latency + queue-wait histograms saw all 50 executed jobs.
+            assert parsed["repro_job_latency_seconds_count"][
+                (("experiment", "fig8.reliability"),)
+            ] == self.UNIQUE
+            assert parsed["repro_queue_wait_seconds_count"][()] == self.UNIQUE
+            assert parsed["repro_queue_wait_seconds_bucket"][
+                (("le", "+Inf"),)
+            ] == self.UNIQUE
+            assert parsed["repro_workers_busy"][()] == 0
+            assert parsed["repro_queue_depth"][()] == 0
 
             # Resubmission after completion is served from the store,
             # without a new engine run.

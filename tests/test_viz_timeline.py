@@ -1,0 +1,119 @@
+"""Trace-timeline rendering: loading, normalizing, self-contained HTML.
+
+Acceptance: a persisted job trace renders to a single HTML file whose
+embedded JSON parses back to the exact input payload (and keeps the
+Chrome ``traceEvents`` array intact), and malformed inputs fail with
+:class:`ValueError` rather than a broken page.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.obs.trace import Trace
+from repro.viz import load_trace, render_timeline, write_timeline
+from repro.viz.timeline import TRACE_JSON_ID
+
+
+def make_export() -> dict:
+    trace = Trace(name="fig3.coverage")
+    with trace.span("worker.run", job="j000001"):
+        with trace.span("engine.execute") as inner:
+            inner.add_event("engine.shard", blocks=2)
+    trace.add_span("queue.wait", start=trace.created, end=trace.created + 0.01)
+    return trace.export()
+
+
+def extract_embedded_json(html_text: str) -> dict:
+    pattern = (
+        rf'<script type="application/json" id="{TRACE_JSON_ID}">(.*?)</script>'
+    )
+    match = re.search(pattern, html_text, re.S)
+    assert match, f"no embedded JSON block #{TRACE_JSON_ID}"
+    return json.loads(match.group(1))
+
+
+class TestLoadTrace:
+    def test_loads_export_shape(self, tmp_path):
+        export = make_export()
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(export))
+        assert load_trace(path) == export
+
+    def test_wraps_bare_span_json(self, tmp_path):
+        trace = make_export()["trace"]
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(trace))
+        loaded = load_trace(path)
+        assert loaded["trace"] == trace
+
+    def test_non_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_trace(path)
+
+    def test_wrong_shape_raises_value_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ValueError, match="not a trace export"):
+            load_trace(path)
+
+    def test_trace_without_required_keys_raises(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"trace": {"spans": "nope"}}')
+        with pytest.raises(ValueError, match="trace_id"):
+            load_trace(path)
+
+
+class TestRenderTimeline:
+    def test_embedded_json_round_trips_exact_payload(self):
+        export = make_export()
+        html_text = render_timeline(export)
+        assert extract_embedded_json(html_text) == export
+
+    def test_page_is_self_contained_with_svg_and_table(self):
+        export = make_export()
+        html_text = render_timeline(export)
+        assert "<svg" in html_text
+        for name in ("worker.run", "engine.execute", "queue.wait"):
+            assert name in html_text
+        assert export["trace"]["trace_id"][:12] in html_text
+        # Self-contained: no external fetches of any kind.
+        assert "http://" not in html_text and "https://" not in html_text
+        assert "<link" not in html_text
+
+    def test_span_attrs_are_escaped(self):
+        trace = Trace(name="escape<&>me")
+        with trace.span("s", note='<script>alert("x")</script>'):
+            pass
+        html_text = render_timeline(trace.export())
+        # The embedded JSON block carries the raw payload (inside a
+        # type="application/json" script, where markup is inert); the
+        # rendered markup itself must escape everything.
+        markup = re.sub(r"<script[^>]*>.*?</script>", "", html_text, flags=re.S)
+        assert "<script>alert(" not in markup
+        assert "&lt;script&gt;" in markup
+
+    def test_title_override_and_open_span(self):
+        trace = Trace(name="open")
+        span = trace._new_span("never.finished", start=trace.created,
+                               parent_id=None, attrs={})
+        trace._register(span)  # open span: end/duration are None
+        html_text = render_timeline(trace.export(), title="Custom Title")
+        assert "Custom Title" in html_text
+        assert "open" in html_text  # rendered, not crashed, on duration=None
+
+    def test_empty_trace_renders_placeholder(self):
+        export = Trace(name="empty").export()
+        html_text = render_timeline(export)
+        assert "no finished spans" in html_text
+
+    def test_write_timeline_writes_file(self, tmp_path):
+        export = make_export()
+        out = write_timeline(export, tmp_path / "timeline.html")
+        assert out.is_file()
+        assert extract_embedded_json(out.read_text()) == export
