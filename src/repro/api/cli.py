@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Seven subcommands:
+Eight subcommands:
 
 ``list``
     Enumerate every registered experiment with its backends, defaults
@@ -15,7 +15,11 @@ Seven subcommands:
     a registered fault scenario on experiments that take one.
     ``--verbose/-v`` streams INFO-level telemetry to stderr while the
     run executes; ``--telemetry PATH`` writes the run's raw event
-    stream as JSON lines (``-`` for stdout).  Examples::
+    stream as JSON lines (``-`` for stdout).  ``--profile`` samples the
+    run (``--profile-hz`` picks the rate) and attaches the profile to
+    ``meta.telemetry.profile``; ``--profile-out BASE`` additionally
+    writes ``BASE.collapsed`` (collapsed stacks) and ``BASE.html``
+    (flamegraph).  Examples::
 
         python -m repro run fig3.coverage --trials 200000 --json out.json
         python -m repro run fig3.coverage --trials 4096 \
@@ -40,6 +44,13 @@ Seven subcommands:
     span timeline; ``-o`` overrides the default ``JOB.html`` output
     path.  The same file loads in ``chrome://tracing``/Perfetto.
 
+``flamegraph PROFILE``
+    Render a sampled profile (collapsed-stack text, a profile JSON from
+    ``--profile-out``/``serve --profile-dir``/``GET /jobs/{id}/profile``,
+    or a result JSON carrying ``meta.telemetry.profile``) as a
+    self-contained HTML flamegraph; ``-o`` overrides the default
+    ``PROFILE.html`` output path.
+
 ``serve``
     Run the long-lived experiment service (:mod:`repro.service`):
     HTTP+JSON submissions with single-flight dedup, an asyncio worker
@@ -47,7 +58,9 @@ Seven subcommands:
     ``--host/--port/--workers/--ttl`` configure it; ``--no-metrics``
     disables the ``GET /metrics`` Prometheus endpoint (on by default)
     and ``--trace-dir DIR`` persists every settled job's trace as
-    ``DIR/<job_id>.json``.  SIGINT/SIGTERM drain in-flight jobs and
+    ``DIR/<job_id>.json``; ``--profile-dir DIR`` profiles every executed
+    job and persists/serves the profiles (``GET /jobs/{id}/profile``).
+    SIGINT/SIGTERM drain in-flight jobs and
     shut down gracefully (a second signal cancels queued work).
     Example::
 
@@ -173,6 +186,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's raw telemetry event stream as JSON lines "
         "('-' for stdout)",
     )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run (sampling profiler + memory watermarks); "
+        "the profile attaches to meta.telemetry.profile in the Result "
+        "JSON and never changes the result payload",
+    )
+    runner.add_argument(
+        "--profile-hz",
+        type=float,
+        metavar="HZ",
+        help="sampling rate in Hz (implies --profile; default: 47)",
+    )
+    runner.add_argument(
+        "--profile-out",
+        metavar="BASE",
+        help="write the profile as BASE.collapsed (collapsed stacks) and "
+        "BASE.html (flamegraph); implies --profile",
+    )
+
+    flamer = sub.add_parser(
+        "flamegraph",
+        help="render a sampled profile as a self-contained HTML flamegraph",
+    )
+    flamer.add_argument(
+        "profile",
+        metavar="PROFILE",
+        help="profile carrier: collapsed-stack text, a profile JSON "
+        "(--profile-out / serve --profile-dir / GET /jobs/{id}/profile), "
+        "or a result JSON with meta.telemetry.profile",
+    )
+    flamer.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="output HTML path (default: the input path with an .html suffix)",
+    )
 
     reporter = sub.add_parser(
         "report", help="render a saved Result JSON as self-contained HTML"
@@ -292,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="persist every settled job's trace as DIR/<job_id>.json "
         "(disabled when omitted)",
+    )
+    server.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        help="profile every executed job and persist the profile as "
+        "DIR/<job_id>.json (also served at GET /jobs/{id}/profile; "
+        "disabled when omitted)",
     )
     server.add_argument(
         "-v",
@@ -430,6 +487,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_flamegraph(args) -> int:
+    from repro.viz import load_profile, write_flamegraph
+
+    source = Path(args.profile)
+    if not source.is_file():
+        print(f"error: profile file {source} not found", file=sys.stderr)
+        return 2
+    try:
+        profile = load_profile(source)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = Path(args.output) if args.output else source.with_suffix(".html")
+    write_flamegraph(profile, output, title=f"Sampled profile — {source.name}")
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench_trend(args) -> int:
     from repro.viz import Tolerances, load_runs
     from repro.viz.trend import write_trend
@@ -511,6 +586,7 @@ def _cmd_serve(args) -> int:
         job_timeout=args.job_timeout,
         cache_dir=args.cache_dir,
         trace_dir=args.trace_dir,
+        profile_dir=args.profile_dir,
     )
 
     def announce(server) -> None:
@@ -596,6 +672,19 @@ def _cmd_run(args) -> int:
                 raise SpecError(
                     f"--telemetry: directory {parent} does not exist"
                 )
+        if args.profile_hz is not None and args.profile_hz <= 0:
+            raise SpecError(
+                f"--profile-hz must be positive, got {args.profile_hz}"
+            )
+        if args.profile_out:
+            parent = Path(args.profile_out).parent
+            if not parent.is_dir():
+                raise SpecError(
+                    f"--profile-out: directory {parent} does not exist"
+                )
+        profile = None
+        if args.profile or args.profile_hz is not None or args.profile_out:
+            profile = args.profile_hz if args.profile_hz is not None else True
         if args.scenario is not None:
             get_scenario_class(args.scenario)  # unknown names are usage errors
             if params.get("scenario", args.scenario) != args.scenario:
@@ -615,7 +704,7 @@ def _cmd_run(args) -> int:
         if args.verbose:
             repro_logger, verbose_handler = _verbose_telemetry_handler()
         with Session(workers=args.workers, cache_dir=args.cache_dir) as session:
-            result = session.run(spec)
+            result = session.run(spec, profile=profile)
             telemetry_jsonl = (
                 session.last_telemetry.to_jsonl()
                 if session.last_telemetry is not None
@@ -645,6 +734,24 @@ def _cmd_run(args) -> int:
         _write(args.output, result.to_csv() if as_csv else result.to_json(indent=2))
     if args.telemetry:
         _write(args.telemetry, telemetry_jsonl)
+    if args.profile_out:
+        from repro.viz import write_flamegraph
+
+        payload = (result.telemetry() or {}).get("profile") or {}
+        stacks = payload.get("stacks") or {}
+        collapsed = Path(f"{args.profile_out}.collapsed")
+        collapsed.write_text(
+            "".join(
+                f"{stack} {count}\n" for stack, count in sorted(stacks.items())
+            ),
+            encoding="utf-8",
+        )
+        flame = write_flamegraph(
+            payload,
+            f"{args.profile_out}.html",
+            title=f"Sampled profile — {args.experiment}",
+        )
+        print(f"wrote {collapsed} and {flame}", file=sys.stderr)
     return 0
 
 
@@ -659,6 +766,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "flamegraph":
+        return _cmd_flamegraph(args)
     if args.command == "bench-trend":
         return _cmd_bench_trend(args)
     if args.command == "serve":

@@ -32,6 +32,7 @@ from typing import Any, Callable, Mapping
 
 from repro.obs import RunRecorder, current_trace, use_recorder
 from repro.obs import metrics as _metrics
+from repro.obs.profile import ProfileConfig, RunProfiler
 
 from .registry import Experiment, get_experiment
 from .result import Result, Series
@@ -308,7 +309,16 @@ class Session:
         ``spec`` may be a full :class:`ExperimentSpec` or just an
         experiment name; keyword overrides build/replace spec fields
         (``trials=...``, ``params={...}`` etc.) either way.
+
+        ``profile=`` opts into profiling this run (``True``, a sampling
+        rate in Hz, a mapping of :class:`~repro.obs.ProfileConfig`
+        fields, or a config instance).  It is an execution option, not a
+        spec field: it never enters the spec, its hash, or any cache
+        key, and the collected profile attaches only to
+        ``meta["telemetry"]["profile"]`` — a profiled run's payload is
+        bit-identical to an unprofiled one.
         """
+        profile = ProfileConfig.coerce(overrides.pop("profile", None))
         if isinstance(spec, str):
             spec = ExperimentSpec(spec, **overrides)
         elif overrides:
@@ -372,6 +382,7 @@ class Session:
         # stream is nested into it.
         trace = current_trace()
         span = None
+        profiler = None
         started = time.perf_counter()
         try:
             with contextlib.ExitStack() as stack:
@@ -379,6 +390,8 @@ class Session:
                     span = stack.enter_context(trace.span("engine.execute", **info))
                     recorder.subscribe(_span_event_forwarder(span))
                 stack.enter_context(use_recorder(recorder))
+                if profile is not None:
+                    profiler = stack.enter_context(RunProfiler(profile))
                 stack.enter_context(recorder.timer("execute"))
                 result = impl(context)
         except BaseException as exc:
@@ -403,6 +416,10 @@ class Session:
         # whether or not anyone is watching.
         meta = result.meta_dict()
         meta["telemetry"] = recorder.summary()
+        if profiler is not None:
+            meta["telemetry"]["profile"] = profiler.profile()
+            if span is not None:
+                span.set(profile=profiler.digest())
         if span is not None:
             meta["telemetry"]["trace_id"] = span.trace_id
             meta["telemetry"]["span_id"] = span.span_id

@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import emit
+from repro.obs import emit, memory_phase
+from repro.obs.profile import process_usage, usage_delta
 from repro.scenarios.sparse import SparseRowBatch
 
 from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
@@ -136,11 +137,13 @@ def _run_trial_range(
     restriction of the dense one to the dirty rows), so this is purely a
     throughput knob, like the worker count.
 
-    The third return value is the shard's telemetry: wall-clock seconds
-    plus per-block dispatch decisions (observational only — it reflects
-    scheduling, never influences it).
+    The third return value is the shard's telemetry: wall-clock seconds,
+    per-block dispatch decisions, and the worker's resource deltas
+    (CPU seconds, RSS watermark, pid) — observational only; it reflects
+    scheduling, never influences it.
     """
     started = time.perf_counter()
+    usage0 = process_usage()
     aggregator = StreamingAggregator()
     collected: list[np.ndarray] = []
     sample_block = getattr(model, "sample_block", None)
@@ -203,6 +206,10 @@ def _run_trial_range(
     if collect_verdicts and merged is None:
         merged = np.zeros(0, dtype=np.uint8)
     stats["elapsed"] = round(time.perf_counter() - started, 6)
+    usage = usage_delta(usage0)
+    stats["pid"] = usage["pid"]
+    stats["cpu_seconds"] = usage["cpu_seconds"]
+    stats["max_rss_bytes"] = usage["max_rss_bytes"]
     return aggregator.counts, merged, stats
 
 
@@ -338,11 +345,12 @@ def run_experiment(
         (spec, model, seed, block_size, first, last, collect_verdicts, execution)
         for first, last in ranges
     ]
-    if executor is not None:
-        outcomes = executor.map(_worker, payloads)
-    else:
-        with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
-            outcomes = transient.map(_worker, payloads)
+    with memory_phase("engine.run"):
+        if executor is not None:
+            outcomes = executor.map(_worker, payloads)
+        else:
+            with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
+                outcomes = transient.map(_worker, payloads)
     elapsed = time.perf_counter() - started
 
     aggregator = StreamingAggregator()

@@ -47,6 +47,18 @@ result (see DESIGN.md §4).
 
 from .events import current_recorder, emit, use_recorder
 from .metrics import MetricsRegistry, default_registry, parse_exposition
+from .profile import (
+    DEFAULT_HZ,
+    PROFILE_SCHEMA_VERSION,
+    MemoryWatermarks,
+    ProfileConfig,
+    RunProfiler,
+    SamplingProfiler,
+    current_profiler,
+    memory_phase,
+    process_usage,
+    usage_delta,
+)
 from .recorder import (
     TELEMETRY_SCHEMA_VERSION,
     Counter,
@@ -64,7 +76,13 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_HZ",
+    "MemoryWatermarks",
     "MetricsRegistry",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileConfig",
+    "RunProfiler",
+    "SamplingProfiler",
     "Span",
     "TELEMETRY_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
@@ -72,13 +90,17 @@ __all__ = [
     "RunRecorder",
     "Timer",
     "Trace",
+    "current_profiler",
     "current_recorder",
     "current_span",
     "current_trace",
     "default_registry",
     "emit",
+    "memory_phase",
     "new_trace_id",
     "parse_exposition",
+    "process_usage",
+    "usage_delta",
     "use_recorder",
     "use_span",
 ]

@@ -1,0 +1,502 @@
+"""Opt-in continuous profiling: sampled stacks, memory watermarks, rusage.
+
+Three stdlib-only collectors, each usable alone, composed by
+:class:`RunProfiler` for :meth:`repro.api.Session.run`'s ``profile=``
+option:
+
+:class:`SamplingProfiler`
+    A background thread samples every Python thread's stack via
+    :func:`sys._current_frames` at a configurable rate (default
+    :data:`DEFAULT_HZ` = 47 Hz, a prime so the sampler does not
+    phase-lock with periodic work) and aggregates them into
+    collapsed-stack counts —
+    the ``frameA;frameB;frameC count`` format flamegraph tooling eats.
+    Sampling never acquires locks held by the sampled threads and never
+    touches the event loop, so it is safe under asyncio and
+    free-threaded worker pools alike.  Start/stop are idempotent and
+    the profiler is restartable.
+
+:class:`MemoryWatermarks`
+    :mod:`tracemalloc`-based per-phase peaks.  Phases nest; each phase
+    observes the allocation peak inside its own window (parent windows
+    fold the child's peak back in), so ``engine.run`` vs ``perf.grid``
+    attributions stay meaningful even when one wraps the other.  If
+    tracemalloc is already tracing (e.g. a test harness), the collector
+    piggybacks and leaves it running on stop.
+
+:func:`process_usage` / :func:`usage_delta`
+    Cheap point-in-time process accounting — ``time.process_time`` plus
+    ``resource.getrusage`` where available — used both for per-shard
+    worker deltas (returned through the existing runner chunk tuples)
+    and the service's ``repro_process_*`` gauges.
+
+Profiles are observational by contract (DESIGN.md §7): they attach only
+to ``meta["telemetry"]["profile"]``, never to ``Result.data`` and never
+to cache keys, so a profiled run is bit-identical to an unprofiled one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from typing import Any, Iterator, Mapping, Optional
+
+try:  # not on Windows; every collector degrades gracefully without it
+    import resource as _resource
+except ImportError:  # pragma: no cover - platform dependent
+    _resource = None
+
+__all__ = [
+    "DEFAULT_HZ",
+    "PROFILE_SCHEMA_VERSION",
+    "MemoryWatermarks",
+    "ProfileConfig",
+    "RunProfiler",
+    "SamplingProfiler",
+    "current_profiler",
+    "memory_phase",
+    "process_usage",
+    "usage_delta",
+]
+
+#: Bump when the profile payload layout changes incompatibly.
+PROFILE_SCHEMA_VERSION = 1
+
+#: Default sampling rate.  Prime, so the sampler cannot phase-lock with
+#: work that recurs at round frequencies; high enough to resolve
+#: ~50 ms phases, low enough that GIL handoffs to the sampler thread
+#: stay well under the 5% overhead budget (see DESIGN.md §7 and
+#: benchmarks/test_profile_overhead.py — at ~100 Hz the measured
+#: overhead creeps to 3-5%, at 47 Hz it is under 1%).
+DEFAULT_HZ = 47.0
+
+#: ru_maxrss unit: KiB on Linux, bytes on macOS.
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+#: The innermost active RunProfiler (None outside profiled runs).
+#: ``asyncio.to_thread`` copies the context, so the variable propagates
+#: into worker threads the same way the ambient span does.
+_ACTIVE_PROFILER: "contextvars.ContextVar[RunProfiler | None]" = (
+    contextvars.ContextVar("repro_obs_profiler", default=None)
+)
+
+
+def current_profiler() -> "Optional[RunProfiler]":
+    """The ambient :class:`RunProfiler`, if a profiled run is active."""
+    return _ACTIVE_PROFILER.get()
+
+
+@contextlib.contextmanager
+def memory_phase(name: str) -> "Iterator[None]":
+    """Mark a named memory-watermark phase on the ambient profiler.
+
+    No-op (zero allocation, one contextvar read) when no profiled run is
+    active, so engine code can mark phases unconditionally.
+    """
+    profiler = _ACTIVE_PROFILER.get()
+    if profiler is None or profiler.memory is None:
+        yield
+        return
+    with profiler.memory.phase(name):
+        yield
+
+
+# ----------------------------------------------------------------------
+# Process / worker resource accounting
+# ----------------------------------------------------------------------
+def process_usage() -> dict:
+    """A point-in-time snapshot of this process's resource usage.
+
+    Keys: ``pid``, ``cpu_seconds`` (process-wide CPU via
+    :func:`time.process_time`), ``wall_seconds`` (perf_counter),
+    ``user_seconds``/``system_seconds``/``max_rss_bytes`` (rusage,
+    ``None`` where :mod:`resource` is unavailable).
+    """
+    snap = {
+        "pid": os.getpid(),
+        "cpu_seconds": time.process_time(),
+        "wall_seconds": time.perf_counter(),
+        "user_seconds": None,
+        "system_seconds": None,
+        "max_rss_bytes": None,
+    }
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        snap["user_seconds"] = usage.ru_utime
+        snap["system_seconds"] = usage.ru_stime
+        snap["max_rss_bytes"] = int(usage.ru_maxrss) * _RU_MAXRSS_SCALE
+    return snap
+
+
+def usage_delta(before: "Mapping[str, Any]") -> dict:
+    """Usage accrued since a :func:`process_usage` snapshot.
+
+    CPU and wall figures are deltas; ``max_rss_bytes`` is the *end*
+    high-water mark (rusage reports a lifetime watermark, so a delta
+    would usually be zero and never meaningful).
+    """
+    now = process_usage()
+    delta = {
+        "pid": now["pid"],
+        "cpu_seconds": round(now["cpu_seconds"] - before["cpu_seconds"], 9),
+        "wall_seconds": round(now["wall_seconds"] - before["wall_seconds"], 9),
+        "max_rss_bytes": now["max_rss_bytes"],
+    }
+    if now["user_seconds"] is not None and before.get("user_seconds") is not None:
+        delta["user_seconds"] = round(now["user_seconds"] - before["user_seconds"], 9)
+        delta["system_seconds"] = round(
+            now["system_seconds"] - before["system_seconds"], 9
+        )
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Sampling profiler
+# ----------------------------------------------------------------------
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", code.co_filename)
+    qualname = getattr(code, "co_qualname", code.co_name)  # 3.11+
+    return f"{module}:{qualname}"
+
+
+class SamplingProfiler:
+    """Sample every thread's stack on a background thread.
+
+    The sampler holds its own lock only while bumping the counts dict —
+    never while walking frames — and :func:`sys._current_frames` itself
+    does not block the sampled threads, so a stuck or GIL-heavy workload
+    cannot deadlock against its own profiler.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, *, max_stack_depth: int = 64):
+        if not hz > 0:
+            raise ValueError(f"hz must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.max_stack_depth = int(max_stack_depth)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+        self._counts: "dict[str, int]" = {}
+        self._threads_observed: "set[str]" = set()
+        self.samples = 0
+        self._started_at: "float | None" = None
+        self.duration_seconds = 0.0
+        #: Accumulated time spent inside :meth:`_sample_once` — the
+        #: sampler's own CPU cost, so every profile carries its measured
+        #: overhead (asserted against the 5% budget in
+        #: benchmarks/test_profile_overhead.py).  Written only by the
+        #: sampler thread.
+        self.sampling_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling (idempotent; restart resumes the same counts)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._started_at = time.perf_counter()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling (idempotent).  Counts survive for collection."""
+        with self._lock:
+            thread, self._thread = self._thread, None
+            if self._started_at is not None:
+                self.duration_seconds += time.perf_counter() - self._started_at
+                self._started_at = None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        # Drift-corrected schedule: next_tick advances by the interval,
+        # not by "now + interval", so a slow sample does not lower the
+        # effective rate permanently.
+        next_tick = time.perf_counter() + interval
+        while not self._stop.is_set():
+            delay = next_tick - time.perf_counter()
+            if delay > 0 and self._stop.wait(delay):
+                break
+            next_tick += interval
+            sample_started = time.perf_counter()
+            self._sample_once(own_ident)
+            self.sampling_seconds += time.perf_counter() - sample_started
+
+    def _sample_once(self, own_ident: int) -> None:
+        names = {t.ident: t.name for t in threading.enumerate()}
+        stacks = []
+        for ident, frame in sys._current_frames().items():
+            if ident == own_ident:
+                continue
+            parts: "list[str]" = []
+            depth = 0
+            while frame is not None and depth < self.max_stack_depth:
+                parts.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            if not parts:
+                continue
+            parts.reverse()  # root → leaf, the collapsed-stack order
+            stacks.append((";".join(parts), names.get(ident, str(ident))))
+        with self._lock:
+            self.samples += 1
+            for stack, thread_name in stacks:
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+                self._threads_observed.add(thread_name)
+
+    # ------------------------------------------------------------------
+    def collapsed(self) -> "dict[str, int]":
+        """A snapshot of the collapsed-stack counts."""
+        with self._lock:
+            return dict(self._counts)
+
+    def collapsed_text(self) -> str:
+        """The counts in collapsed-stack text format (one per line)."""
+        counts = self.collapsed()
+        return "\n".join(f"{stack} {count}" for stack, count in sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            duration = self.duration_seconds
+            if self._started_at is not None:
+                duration += time.perf_counter() - self._started_at
+            return {
+                "hz": self.hz,
+                "samples": self.samples,
+                "duration_seconds": round(duration, 6),
+                "sampling_seconds": round(self.sampling_seconds, 6),
+                "stacks": dict(self._counts),
+                "threads_observed": sorted(self._threads_observed),
+            }
+
+
+# ----------------------------------------------------------------------
+# tracemalloc memory watermarks
+# ----------------------------------------------------------------------
+class MemoryWatermarks:
+    """Per-phase allocation peaks via :mod:`tracemalloc`.
+
+    Each :meth:`phase` measures the peak inside its own window using
+    :func:`tracemalloc.reset_peak`.  Entering a child phase first folds
+    the parent's window peak into the parent's record, so nesting
+    attributes every allocation to the innermost phase that was open
+    while still giving outer phases a peak at least as large as any
+    child's.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._started_tracing = False
+        self._active = False
+        self._phases: "dict[str, dict]" = {}
+        self._stack: "list[dict]" = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MemoryWatermarks":
+        if self._active:
+            return self
+        self._active = True
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        return self
+
+    def stop(self) -> "MemoryWatermarks":
+        if not self._active:
+            return self
+        self._active = False
+        if self._started_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracing = False
+        return self
+
+    def __enter__(self) -> "MemoryWatermarks":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _fold_window_peak(self) -> None:
+        """Fold the current window's peak into the innermost open phase."""
+        if not self._stack:
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        record = self._stack[-1]
+        record["peak_bytes"] = max(record["peak_bytes"], peak)
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> "Iterator[None]":
+        """Measure the allocation peak while the block runs (nestable)."""
+        if not self._active or not tracemalloc.is_tracing():
+            yield
+            return
+        name = str(name)
+        with self._lock:
+            self._fold_window_peak()
+            current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            record = self._phases.setdefault(
+                name,
+                {"count": 0, "peak_bytes": 0, "alloc_bytes": 0, "current_bytes": 0},
+            )
+            record["count"] += 1
+            self._stack.append(record)
+        try:
+            yield
+        finally:
+            with self._lock:
+                now, peak = tracemalloc.get_traced_memory()
+                record["peak_bytes"] = max(record["peak_bytes"], peak)
+                record["alloc_bytes"] = max(record["alloc_bytes"], now - current)
+                record["current_bytes"] = now
+                self._stack.pop()
+                if self._stack:
+                    parent = self._stack[-1]
+                    parent["peak_bytes"] = max(
+                        parent["peak_bytes"], record["peak_bytes"]
+                    )
+                tracemalloc.reset_peak()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            payload = {
+                "tracing": self._active,
+                "phases": {name: dict(rec) for name, rec in self._phases.items()},
+            }
+        if tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            payload["current_bytes"] = current
+            payload["window_peak_bytes"] = peak
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Configuration + run orchestration
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ProfileConfig:
+    """How :meth:`Session.run` should profile (``profile=`` option)."""
+
+    hz: float = DEFAULT_HZ
+    memory: bool = True
+    max_stack_depth: int = 64
+
+    @classmethod
+    def coerce(cls, value: Any) -> "ProfileConfig | None":
+        """Normalize the ``profile=`` argument.
+
+        ``None``/``False`` → no profiling; ``True`` → defaults; a number
+        → that sampling rate; a mapping → keyword overrides; a
+        :class:`ProfileConfig` passes through.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, (int, float)):
+            return cls(hz=float(value))
+        if isinstance(value, Mapping):
+            return cls(**dict(value))
+        raise TypeError(
+            f"profile= expects None, bool, Hz, mapping or ProfileConfig; "
+            f"got {type(value).__name__}"
+        )
+
+
+class RunProfiler:
+    """Compose the collectors around one run (context manager).
+
+    Entering starts the sampler (and tracemalloc watermarks unless
+    disabled) and installs the profiler as the ambient one so
+    :func:`memory_phase` markers anywhere below attribute correctly;
+    exiting stops everything and freezes :meth:`profile`.
+    """
+
+    def __init__(self, config: "ProfileConfig | None" = None):
+        self.config = config or ProfileConfig()
+        self.sampler = SamplingProfiler(
+            self.config.hz, max_stack_depth=self.config.max_stack_depth
+        )
+        self.memory: "MemoryWatermarks | None" = (
+            MemoryWatermarks() if self.config.memory else None
+        )
+        self._usage0: "dict | None" = None
+        self._profile: "dict | None" = None
+        self._token: "contextvars.Token | None" = None
+
+    def __enter__(self) -> "RunProfiler":
+        self._usage0 = process_usage()
+        self.sampler.start()
+        if self.memory is not None:
+            self.memory.start()
+        self._token = _ACTIVE_PROFILER.set(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._token is not None:
+            _ACTIVE_PROFILER.reset(self._token)
+            self._token = None
+        self.sampler.stop()
+        sampled = self.sampler.to_dict()
+        self._profile = {
+            "schema": PROFILE_SCHEMA_VERSION,
+            **sampled,
+            "process": usage_delta(self._usage0) if self._usage0 else {},
+        }
+        if self.memory is not None:
+            self._profile["memory"] = self.memory.to_dict()
+            self.memory.stop()
+
+    # ------------------------------------------------------------------
+    def profile(self) -> dict:
+        """The frozen profile payload (after exit; live snapshot before)."""
+        if self._profile is not None:
+            return self._profile
+        payload = {
+            "schema": PROFILE_SCHEMA_VERSION,
+            **self.sampler.to_dict(),
+            "process": usage_delta(self._usage0) if self._usage0 else {},
+        }
+        if self.memory is not None:
+            payload["memory"] = self.memory.to_dict()
+        return payload
+
+    def digest(self) -> dict:
+        """A small summary for span attributes (no stack payload)."""
+        profile = self.profile()
+        return {
+            "hz": profile["hz"],
+            "samples": profile["samples"],
+            "unique_stacks": len(profile["stacks"]),
+            "duration_seconds": profile["duration_seconds"],
+        }

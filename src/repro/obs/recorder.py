@@ -242,6 +242,24 @@ class RunRecorder:
             for kind in ("sparse_blocks", "dense_blocks", "densified_blocks")
         }
 
+        def resources(shards: "list[dict]") -> dict:
+            """Worker resource accounting aggregated across shard events
+            (CPU sums; RSS is a per-process watermark, so the max)."""
+            rss = [
+                int(s["max_rss_bytes"])
+                for s in shards
+                if s.get("max_rss_bytes") is not None
+            ]
+            return {
+                "cpu_seconds": round(
+                    sum(float(s.get("cpu_seconds", 0.0)) for s in shards), 6
+                ),
+                "max_rss_bytes": max(rss) if rss else None,
+                "processes": len(
+                    {s["pid"] for s in shards if s.get("pid") is not None}
+                ),
+            }
+
         summary: dict[str, Any] = {
             "schema": TELEMETRY_SCHEMA_VERSION,
             "events": len(self.events),
@@ -274,6 +292,7 @@ class RunRecorder:
                     sum(float(s.get("elapsed", 0.0)) for s in engine_shards), 6
                 ),
                 "dispatch": dispatch,
+                "resources": resources(engine_shards),
                 "cache_keys": engine_keys,
             },
             "perf": {
@@ -284,6 +303,7 @@ class RunRecorder:
                 ),
                 "trials": sum(int(e.get("n_trials", 0)) for e in perf_starts),
                 "shards": len(perf_shards),
+                "resources": resources(perf_shards),
                 "cache_keys": perf_keys,
             },
             "executor": {

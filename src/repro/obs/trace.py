@@ -151,7 +151,7 @@ class Span:
 
     def add_event(self, name: str, /, **attrs: Any) -> dict:
         """Record a point-in-time event inside the span."""
-        event = {"name": str(name), "t": time.time()}
+        event = {"name": str(name), "t": self.trace._now()}
         if attrs:
             event["attrs"] = _jsonable_attrs(attrs)
         with self.trace._lock:
@@ -161,7 +161,7 @@ class Span:
     def finish(self, end: "float | None" = None) -> "Span":
         """Close the span (idempotent) and register it with its trace."""
         if self.end is None:
-            self.end = time.time() if end is None else end
+            self.end = self.trace._now() if end is None else end
             self.trace._register(self)
         return self
 
@@ -195,10 +195,20 @@ class Trace:
     def __init__(self, trace_id: "str | None" = None, *, name: str = ""):
         self.trace_id = trace_id or new_trace_id()
         self.name = name
+        # One wall-clock epoch per trace; every subsequent stamp is this
+        # epoch plus a perf_counter offset.  Spans therefore keep
+        # absolute timestamps (Chrome export unchanged) but durations
+        # are monotonic — an NTP clock step mid-trace cannot produce
+        # negative or skewed spans.
         self.created = time.time()
+        self._perf_epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._spans: "list[Span]" = []
         self._ids = itertools.count(1)
+
+    def _now(self) -> float:
+        """Wall-clock-anchored monotonic timestamp for this trace."""
+        return self.created + (time.perf_counter() - self._perf_epoch)
 
     # ------------------------------------------------------------------
     def _new_span(
@@ -240,7 +250,7 @@ class Trace:
             else None
         )
         span = self._new_span(
-            name, start=time.time(), parent_id=parent_id, attrs=attrs
+            name, start=self._now(), parent_id=parent_id, attrs=attrs
         )
         token = _ACTIVE_SPAN.set(span)
         try:

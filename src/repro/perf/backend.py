@@ -35,7 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cmp.config import CmpConfig, ProtectionConfig
-from repro.obs import emit
+from repro.obs import emit, memory_phase
+from repro.obs.profile import process_usage, usage_delta
 from repro.engine.aggregate import MeanEstimate
 from repro.engine.cache import ResultCache, cache_key
 from repro.engine.executor import SharedExecutor
@@ -268,9 +269,11 @@ def _run_trial_range(
     evaluation groups purely for throughput.
 
     Returns the per-label field arrays plus the shard's telemetry
-    (wall-clock seconds, trial and block counts — observational only).
+    (wall-clock seconds, trial and block counts, and the worker's
+    resource deltas — observational only).
     """
     started = time.perf_counter()
+    usage0 = process_usage()
     with_extras = any(p.protect_l2 for p in protections.values())
     per_label: dict[str, list] = {label: [] for label in protections}
     pieces = iter_block_slices(first_trial, last_trial, block_size)
@@ -315,10 +318,14 @@ def _run_trial_range(
         }
         for label, chunks in per_label.items()
     }
+    usage = usage_delta(usage0)
     stats = {
         "trials": last_trial - first_trial,
         "labels": len(protections),
         "elapsed": round(time.perf_counter() - started, 6),
+        "pid": usage["pid"],
+        "cpu_seconds": usage["cpu_seconds"],
+        "max_rss_bytes": usage["max_rss_bytes"],
     }
     return merged, stats
 
@@ -447,11 +454,14 @@ def run_performance_grid(
             (cmp_cfg, profile, missing, n_cycles, seed, block_size, first, last)
             for first, last in ranges
         ]
-        if executor is not None:
-            outcomes = executor.map(_worker, payloads)
-        else:
-            with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
-                outcomes = transient.map(_worker, payloads)
+        with memory_phase("perf.grid"):
+            if executor is not None:
+                outcomes = executor.map(_worker, payloads)
+            else:
+                with SharedExecutor(
+                    workers=n_workers, mp_context=mp_context
+                ) as transient:
+                    outcomes = transient.map(_worker, payloads)
         elapsed = time.perf_counter() - started
         for index, (_, stats) in enumerate(outcomes):
             emit("perf.shard", logger=_log, index=index, **stats)

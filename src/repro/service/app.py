@@ -98,6 +98,13 @@ class ExperimentService:
         persisted as ``<trace_dir>/<job_id>.json`` (span JSON + Chrome
         ``traceEvents`` in one payload, see
         :meth:`repro.obs.trace.Trace.export`).
+    profile_dir:
+        Optional directory; when set, every executed job runs with
+        ``profile=True`` and its profile payload (sampled stacks,
+        memory watermarks, process deltas) is persisted as
+        ``<profile_dir>/<job_id>.json`` and served at
+        ``GET /jobs/{id}/profile``.  Profiling is observational only —
+        results and dedup hashes are unchanged.
     """
 
     def __init__(
@@ -116,10 +123,14 @@ class ExperimentService:
         mp_context=None,
         registry: "MetricsRegistry | None" = None,
         trace_dir: "str | Path | None" = None,
+        profile_dir: "str | Path | None" = None,
     ):
         self.recorder = RunRecorder()
         self.instruments = ServiceInstruments(registry)
         self._trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self._profile_dir = (
+            Path(profile_dir) if profile_dir is not None else None
+        )
         self._owns_session = session is None
         self.session = session or Session(
             workers=engine_workers, cache_dir=cache_dir, mp_context=mp_context
@@ -163,6 +174,8 @@ class ExperimentService:
         self._started_at = time.time()
         if self._trace_dir is not None:
             self._trace_dir.mkdir(parents=True, exist_ok=True)
+        if self._profile_dir is not None:
+            self._profile_dir.mkdir(parents=True, exist_ok=True)
         # The ambient recorder for everything the loop thread emits;
         # tasks created below inherit it through their contextvars copy.
         self._recorder_scope = use_recorder(self.recorder)
@@ -362,6 +375,8 @@ class ExperimentService:
     def _execute(self, job: Job):
         """Blocking engine run (called from a worker thread)."""
         self.instruments.engine_runs_total.inc()
+        if self._profile_dir is not None:
+            return self.session.run(job.spec, profile=True)
         return self.session.run(job.spec)
 
     def _on_success(self, job: Job, result) -> None:
@@ -375,8 +390,9 @@ class ExperimentService:
         self.instruments.store_entries.set(len(self.store))
 
     def _on_finish(self, job: Job) -> None:
-        """Terminal-state hook (event loop): persist the job's trace."""
+        """Terminal-state hook (event loop): persist trace + profile."""
         self._persist_trace(job)
+        self._persist_profile(job)
 
     def _persist_trace(self, job: Job) -> None:
         """Best-effort write of ``<trace_dir>/<job_id>.json``."""
@@ -391,6 +407,38 @@ class ExperimentService:
             )
         except OSError as exc:
             _log.warning("could not persist trace for job %s: %r", job.id, exc)
+
+    def job_profile(self, job_id: str) -> "Optional[dict]":
+        """The job's profile payload (``GET /jobs/{id}/profile``).
+
+        ``None`` when the job is unknown, not settled, or ran without
+        profiling (no ``--profile-dir``).
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.result is None:
+            return None
+        telemetry = getattr(job.result, "telemetry", None)
+        if telemetry is None:
+            return None
+        return (telemetry() or {}).get("profile")
+
+    def _persist_profile(self, job: Job) -> None:
+        """Best-effort write of ``<profile_dir>/<job_id>.json``."""
+        if self._profile_dir is None:
+            return
+        profile = self.job_profile(job.id)
+        if profile is None:
+            return
+        path = self._profile_dir / f"{job.id}.json"
+        try:
+            self._profile_dir.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(profile, sort_keys=True), encoding="utf-8"
+            )
+        except OSError as exc:
+            _log.warning(
+                "could not persist profile for job %s: %r", job.id, exc
+            )
 
     def metrics_text(self) -> str:
         """The instruments' Prometheus exposition (``GET /metrics``)."""

@@ -35,11 +35,15 @@ The families
 - ``repro_engine_runs_total`` — jobs that actually reached
   ``Session.run`` (the non-deduplicated work; the engine cache's own
   hit/miss split lives in ``repro_engine_cache_lookups_total``).
+- ``repro_process_cpu_seconds`` / ``repro_process_max_rss_bytes`` —
+  process-level accounting (CPU via ``time.process_time``, RSS
+  high-water mark via ``getrusage``), refreshed on every scrape.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.profile import process_usage
 
 __all__ = ["ServiceInstruments"]
 
@@ -129,7 +133,23 @@ class ServiceInstruments:
             "repro_engine_runs_total",
             "Jobs executed on the shared session (non-deduplicated work)",
         )
+        self.process_cpu_seconds = r.gauge(
+            "repro_process_cpu_seconds",
+            "Process-wide CPU time consumed (time.process_time)",
+        )
+        self.process_max_rss_bytes = r.gauge(
+            "repro_process_max_rss_bytes",
+            "Process RSS high-water mark (getrusage ru_maxrss)",
+        )
+
+    def update_process(self) -> None:
+        """Refresh the process-level gauges (called on every scrape)."""
+        usage = process_usage()
+        self.process_cpu_seconds.set(round(usage["cpu_seconds"], 6))
+        if usage["max_rss_bytes"] is not None:
+            self.process_max_rss_bytes.set(usage["max_rss_bytes"])
 
     def render(self) -> str:
         """The registry's Prometheus text exposition (``GET /metrics``)."""
+        self.update_process()
         return self.registry.render()

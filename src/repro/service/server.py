@@ -34,6 +34,15 @@ Routes
 ``GET /jobs/{id}/trace``
     The job's trace export: span JSON plus a Chrome ``traceEvents``
     array in one payload.
+``GET /jobs/{id}/profile``
+    The job's profile payload (sampled stacks, memory watermarks,
+    process deltas) when the service runs with ``--profile-dir``;
+    ``404`` for unknown jobs or unprofiled runs.
+``GET /debug/profile?seconds=N``
+    On-demand whole-process sampling: run the sampling profiler for
+    ``seconds`` (default 1, capped at 30; ``hz`` picks the rate) and
+    return the profile.  The sampler runs on its own thread, so the
+    event loop keeps serving while it collects.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ _log = logging.getLogger(__name__)
 
 _MAX_BODY = 1 << 20  # 1 MiB: specs are small; refuse anything bigger
 _MAX_WAIT = 60.0  # long-poll cap per request
+_MAX_PROFILE_SECONDS = 30.0  # /debug/profile duration cap per request
 
 #: Prometheus text exposition format version 0.0.4.
 _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -214,6 +224,10 @@ class ServiceServer:
                 if method != "GET":
                     raise _HttpError(405, f"{method} not allowed on {path}")
                 return self._get_trace(job_id[: -len("/trace")])
+            if job_id.endswith("/profile"):
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                return self._get_profile(job_id[: -len("/profile")])
             if method == "GET":
                 return await self._get_job(job_id, query)
             if method == "DELETE":
@@ -225,6 +239,8 @@ class ServiceServer:
             return 200, self.service.healthz()
         if path == "/stats" and method == "GET":
             return 200, self.service.stats()
+        if path == "/debug/profile" and method == "GET":
+            return await self._debug_profile(query)
         if path == "/metrics" and method == "GET":
             if not self.expose_metrics:
                 raise _HttpError(404, "metrics exposition is disabled")
@@ -298,6 +314,40 @@ class ServiceServer:
         if job is None:
             raise _HttpError(404, f"no job {job_id!r}")
         return 200, job.trace.export()
+
+    def _get_profile(self, job_id: str) -> "tuple[int, object]":
+        job = self.service.job(job_id)
+        if job is None:
+            raise _HttpError(404, f"no job {job_id!r}")
+        profile = self.service.job_profile(job_id)
+        if profile is None:
+            raise _HttpError(
+                404,
+                f"job {job_id!r} has no profile (service not started with "
+                "--profile-dir, or the job has not settled)",
+            )
+        return 200, profile
+
+    async def _debug_profile(self, query: dict) -> "tuple[int, object]":
+        from repro.obs.profile import DEFAULT_HZ, SamplingProfiler
+
+        try:
+            seconds = float(query.get("seconds", 1.0))
+            hz = float(query.get("hz", DEFAULT_HZ))
+        except ValueError as exc:
+            raise _HttpError(400, "seconds and hz must be numbers") from exc
+        if seconds < 0 or hz <= 0:
+            raise _HttpError(400, "seconds must be >= 0 and hz > 0")
+        seconds = min(seconds, _MAX_PROFILE_SECONDS)
+        profiler = SamplingProfiler(hz)
+        profiler.start()
+        try:
+            # The sampler collects on its own thread; the loop stays
+            # free to serve other requests for the whole window.
+            await asyncio.sleep(seconds)
+        finally:
+            profiler.stop()
+        return 200, {"seconds": seconds, **profiler.to_dict()}
 
     def _get_result(self, spec_hash: str) -> "tuple[int, object]":
         text = self.service.store.get_json(spec_hash)

@@ -28,6 +28,14 @@ zero external fetches, stdlib only):
     ``chrome://tracing``/Perfetto too).  CLI:
     ``python -m repro trace job.json -o timeline.html``.
 
+:func:`render_flamegraph` / :func:`write_flamegraph`
+    One sampled-stack profile (collapsed text, a profile JSON from
+    ``--profile-out``/``--profile-dir``/``GET /jobs/{id}/profile``, or
+    a result JSON carrying ``meta.telemetry.profile``) → an inline-SVG
+    icicle flamegraph with a top-functions table and the collapsed
+    payload embedded under ``id="repro-profile"``.  CLI:
+    ``python -m repro flamegraph profile.json -o flame.html``.
+
 :mod:`repro.viz.bench`
     The shared benchmark-record semantics both the dashboard and the
     gating ``benchmarks/compare.py`` CI step use: loading/flattening
@@ -39,6 +47,12 @@ Both renderers are exposed on the CLI as ``python -m repro report`` and
 """
 
 from .bench import Tolerances, compare_records, direction, flatten, load_bench_dir
+from .flamegraph import (
+    load_profile,
+    parse_collapsed,
+    render_flamegraph,
+    write_flamegraph,
+)
 from .report import render_report, write_report
 from .timeline import load_trace, render_timeline, write_timeline
 from .trend import load_runs, render_trend, write_trend
@@ -49,11 +63,15 @@ __all__ = [
     "direction",
     "flatten",
     "load_bench_dir",
+    "load_profile",
     "load_runs",
     "load_trace",
+    "parse_collapsed",
+    "render_flamegraph",
     "render_report",
     "render_timeline",
     "render_trend",
+    "write_flamegraph",
     "write_report",
     "write_timeline",
     "write_trend",

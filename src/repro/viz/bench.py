@@ -51,8 +51,12 @@ _log = logging.getLogger("repro.viz.bench")
 #: are noisy; the point is catching collapses, not jitter.
 DEFAULT_TOLERANCE = 0.6
 
-#: Top-level keys never compared: bookkeeping, not measurements.
-SKIP_KEYS = frozenset({"recorded_at", "workload"})
+#: Top-level keys never compared: bookkeeping/provenance, not
+#: measurements (``elapsed_seconds`` is numeric but describes the
+#: harness, not the benchmark).
+SKIP_KEYS = frozenset(
+    {"recorded_at", "workload", "git_commit", "python_version", "elapsed_seconds"}
+)
 
 #: Key fragments that identify a metric's good direction.
 _HIGHER_IS_BETTER = ("per_second", "speedup", "trials_per")

@@ -82,7 +82,21 @@ def render_trend(
 ) -> str:
     """The runs as one self-contained trend dashboard (HTML string)."""
     tolerances = tolerances or Tolerances()
-    labels = [run["label"] for run in runs]
+    # Points are labelled per commit when records carry the provenance
+    # write_bench adds ("dir@sha" instead of just the directory name).
+    labels = []
+    for run in runs:
+        commit = next(
+            (
+                record.get("git_commit")
+                for record in run["records"].values()
+                if record.get("git_commit")
+            ),
+            None,
+        )
+        labels.append(
+            f"{run['label']}@{str(commit)[:8]}" if commit else run["label"]
+        )
     metrics_per_run = [
         {
             name: numeric_metrics(record)
