@@ -40,7 +40,7 @@ from repro.workloads import PAPER_WORKLOADS
 
 from .registry import experiment
 from .result import Series
-from .spec import SpecError
+from .spec import RARE_EVENT_PARAMS, SpecError
 
 __all__ = ["FIG3_MC_FOOTPRINTS", "named_schemes"]
 
@@ -243,6 +243,259 @@ def _scenario_model(ctx, *, default_overrides: "dict | None" = None):
     return make_scenario(name, **overrides)
 
 
+#: The rare-event estimation knobs (:data:`repro.api.spec.RARE_EVENT_PARAMS`):
+#: ``estimator`` selects the sampling strategy,
+#: ``tolerance``/``tolerance_relative`` switch the fixed trial budget for
+#: a sequential CI-half-width stopping rule, ``tilt``/``shift`` configure
+#: the importance-sampling proposal and ``strata``/``allocation`` the
+#: stratified partition.
+_RARE_KNOBS = RARE_EVENT_PARAMS
+
+_RARE_ESTIMATORS = ("plain", "tilted", "stratified")
+
+
+def _rare_config(ctx) -> "dict | None":
+    """Parse and cross-validate the rare-event knobs of a spec.
+
+    Returns ``None`` when the spec sets none of them; the caller must
+    then take its historical plain path untouched (same engine calls,
+    same cache keys, byte-identical results).  Otherwise returns a dict
+    with every knob resolved, after rejecting combinations that would
+    silently ignore a param.
+    """
+    explicit = set(ctx.spec.param_dict())
+    if not explicit.intersection(_RARE_KNOBS):
+        return None
+    experiment = ctx.spec.experiment
+    estimator = str(ctx.param("estimator", "plain"))
+    if estimator not in _RARE_ESTIMATORS:
+        raise SpecError(
+            f"{experiment}: estimator must be one of "
+            f"{', '.join(_RARE_ESTIMATORS)}, got {estimator!r}"
+        )
+    tolerance = ctx.param("tolerance")
+    if tolerance is not None:
+        tolerance = float(tolerance)
+        if not tolerance > 0:
+            raise SpecError(
+                f"{experiment}: tolerance must be positive, got {tolerance}"
+            )
+    if "tolerance_relative" in explicit and tolerance is None:
+        raise SpecError(
+            f"{experiment}: tolerance_relative needs a tolerance to qualify"
+        )
+    relative = bool(ctx.param("tolerance_relative", False))
+
+    def _reject_foreign(names: tuple, wanted: str) -> None:
+        wrong = sorted(explicit.intersection(names))
+        if wrong:
+            raise SpecError(
+                f"{experiment}: param(s) {', '.join(wrong)} only apply with "
+                f"estimator={wanted!r}, got {estimator!r}"
+            )
+
+    if estimator != "tilted":
+        _reject_foreign(("tilt", "shift"), "tilted")
+    if estimator != "stratified":
+        _reject_foreign(("strata", "allocation"), "stratified")
+    if estimator == "stratified" and tolerance is not None:
+        raise SpecError(
+            f"{experiment}: sequential stopping (tolerance) does not compose "
+            "with the stratified estimator; drop one of the two"
+        )
+    allocation = str(ctx.param("allocation", "proportional"))
+    from repro.engine import ALLOCATION_MODES
+
+    if allocation not in ALLOCATION_MODES:
+        raise SpecError(
+            f"{experiment}: allocation must be one of "
+            f"{', '.join(ALLOCATION_MODES)}, got {allocation!r}"
+        )
+    return {
+        "estimator": estimator,
+        "tolerance": tolerance,
+        "relative": relative,
+        "tilt": float(ctx.param("tilt", 0.0)),
+        "shift": int(ctx.param("shift", 0)),
+        "strata": ctx.param("strata", 4),
+        "allocation": allocation,
+    }
+
+
+def _tilted_variant(ctx, model, tilt: float, shift: int):
+    """The importance-sampling (tilted-law) twin of a nominal scenario.
+
+    Only the scenarios with a tractable likelihood ratio have one:
+    ``clustered_mbu`` (footprint-area tilting) and ``hard_fault_map``
+    (exponential Poisson tilting, plus an optional count ``shift``).
+    """
+    from repro.scenarios import (
+        TiltedClusteredMbuScenario,
+        TiltedHardFaultMapScenario,
+    )
+
+    kind = model.to_key().get("model")
+    if kind == "cluster_distribution":
+        if getattr(model, "spread", 0.0):
+            raise SpecError(
+                f"{ctx.spec.experiment}: estimator='tilted' does not support "
+                "the clustered_mbu spread knob (the diffusion step has no "
+                "closed-form likelihood ratio)"
+            )
+        if shift:
+            raise SpecError(
+                f"{ctx.spec.experiment}: shift only applies to count-based "
+                "scenarios (hard_fault_map); clustered_mbu tilts footprint "
+                "area instead"
+            )
+        return TiltedClusteredMbuScenario(footprints=model.footprints, tilt=tilt)
+    if kind == "hard_fault_map":
+        return TiltedHardFaultMapScenario(
+            defect_density=model.defect_density, tilt=tilt, shift=shift
+        )
+    raise SpecError(
+        f"{ctx.spec.experiment}: estimator='tilted' supports the "
+        f"clustered_mbu and hard_fault_map scenarios, not {kind!r}"
+    )
+
+
+def _strata_for(ctx, model, strata, engine_spec) -> list:
+    """Partition a scenario's fault law into engine-ready strata.
+
+    ``clustered_mbu`` splits by drawn footprint (the mixture weights are
+    the stratum probabilities, exactly); ``hard_fault_map`` splits the
+    Poisson fault count into ``strata`` bands — singletons ``0..n-2``
+    plus one open tail band, whose conditional laws are truncated
+    Poissons (:class:`repro.scenarios.FaultCountBandScenario`).
+    """
+    from repro.engine import Stratum
+    from repro.scenarios import (
+        FaultCountBandScenario,
+        make_scenario,
+        poisson_band_probability,
+    )
+
+    kind = model.to_key().get("model")
+    if kind == "cluster_distribution":
+        if getattr(model, "spread", 0.0):
+            raise SpecError(
+                f"{ctx.spec.experiment}: estimator='stratified' does not "
+                "support the clustered_mbu spread knob (diffusion mixes the "
+                "footprint strata)"
+            )
+        if "strata" in ctx.spec.param_dict():
+            raise SpecError(
+                f"{ctx.spec.experiment}: clustered_mbu stratifies by its own "
+                "footprint mixture; the strata band count only applies to "
+                "hard_fault_map"
+            )
+        total = sum(weight for _shape, weight in model.footprints)
+        return [
+            Stratum(
+                name=f"{height}x{width}",
+                probability=weight / total,
+                model=make_scenario("fixed_cluster", height=height, width=width),
+            )
+            for (height, width), weight in model.footprints
+        ]
+    if kind == "hard_fault_map":
+        n_bands = int(strata)
+        if n_bands < 2:
+            raise SpecError(
+                f"{ctx.spec.experiment}: strata must be >= 2 fault-count "
+                f"bands, got {n_bands}"
+            )
+        lam = model.defect_density * engine_spec.rows * engine_spec.row_bits
+        result = []
+        for k in range(n_bands):
+            k_min = k
+            k_max = k if k < n_bands - 1 else None
+            label = f"k={k}" if k_max is not None else f"k>={k}"
+            result.append(
+                Stratum(
+                    name=label,
+                    probability=poisson_band_probability(lam, k_min, k_max),
+                    model=FaultCountBandScenario(
+                        defect_density=model.defect_density,
+                        k_min=k_min,
+                        k_max=k_max,
+                    ),
+                )
+            )
+        return result
+    raise SpecError(
+        f"{ctx.spec.experiment}: estimator='stratified' supports the "
+        f"clustered_mbu and hard_fault_map scenarios, not {kind!r}"
+    )
+
+
+def _rare_estimate(ctx, engine_spec, model, rare: dict, *, seed=None):
+    """Run one engine point under the rare-event config.
+
+    Returns ``(payload, counts)``: a JSON-pure estimate payload (always
+    carrying ``point``/``lower``/``upper``/``estimator``) and the raw
+    verdict counts dict where the estimator produces one (``None`` for
+    stratified runs, which aggregate per stratum).
+    """
+    estimator = rare["estimator"]
+    if estimator == "stratified":
+        strata = _strata_for(ctx, model, rare["strata"], engine_spec)
+        combined = ctx.run_engine_stratified(
+            engine_spec, strata, seed=seed, allocation=rare["allocation"]
+        )
+        payload = {
+            "estimator": "stratified",
+            "allocation": rare["allocation"],
+            "n": combined.n,
+            "confidence": combined.confidence,
+            "point": combined.point,
+            "std_error": combined.std_error,
+            "lower": combined.lower,
+            "upper": combined.upper,
+            "strata": list(combined.strata),
+        }
+        return payload, None
+
+    run_model = (
+        _tilted_variant(ctx, model, rare["tilt"], rare["shift"])
+        if estimator == "tilted"
+        else model
+    )
+    if rare["tolerance"] is not None:
+        result = ctx.run_engine_sequential(
+            engine_spec,
+            run_model,
+            tolerance=rare["tolerance"],
+            relative=rare["relative"],
+            seed=seed,
+        )
+    else:
+        result = ctx.run_engine(engine_spec, run_model, seed=seed)
+    counts = result.counts.as_dict()
+    if result.is_weighted:
+        estimate = result.weighted_estimate("corrected", ctx.confidence)
+        payload = {
+            "estimator": "tilted",
+            "tilt": rare["tilt"],
+            "shift": rare["shift"],
+            "n": estimate.n,
+            "confidence": estimate.confidence,
+            "point": estimate.point,
+            "std_error": estimate.std_error,
+            "lower": estimate.lower,
+            "upper": estimate.upper,
+            "ess": estimate.ess,
+        }
+    else:
+        payload = dict(_estimate_payload(result.estimate(ctx.confidence)))
+        payload["estimator"] = "plain"
+    if rare["tolerance"] is not None:
+        payload["tolerance"] = rare["tolerance"]
+        payload["tolerance_relative"] = rare["relative"]
+        payload["realized_trials"] = int(result.n_trials)
+    return payload, counts
+
+
 def _reject_unused_model_params(ctx, selector: str, chosen: str, names: tuple) -> None:
     """Fail hard when a spec sets params the chosen scenario ignores.
 
@@ -271,13 +524,14 @@ def _reject_unused_model_params(ctx, selector: str, chosen: str, names: tuple) -
         "array_rows": 256,
         "array_data_columns": 256,
     },
-    params=("scenario_params",),
+    params=("scenario_params",) + _RARE_KNOBS,
 )
 def _fig3_coverage_mc(ctx):
     from repro.engine import EngineSpec, make_decoder
 
     rows = int(ctx.param("array_rows"))
     columns = int(ctx.param("array_data_columns"))
+    rare = _rare_config(ctx)
     # The default scenario/footprints pair reconstructs the exact model
     # (same draws, same engine cache key) this experiment ran before the
     # scenario subsystem existed.
@@ -299,19 +553,32 @@ def _fig3_coverage_mc(ctx):
             # (OECNED); skip it rather than fall back to the slow path.
             skipped.append(key)
             continue
-        estimate = monte_carlo_coverage(
-            scheme,
-            array_rows=rows,
-            array_data_columns=columns,
-            n_trials=ctx.trials,
-            seed=ctx.seed,
-            model=model,
-            n_workers=ctx.session.workers,
-            cache=ctx.session.cache,
-            confidence=ctx.confidence,
-            executor=ctx.session.executor,
-        )
-        estimates[key] = _estimate_payload(estimate)
+        if rare is None:
+            estimate = monte_carlo_coverage(
+                scheme,
+                array_rows=rows,
+                array_data_columns=columns,
+                n_trials=ctx.trials,
+                seed=ctx.seed,
+                model=model,
+                n_workers=ctx.session.workers,
+                cache=ctx.session.cache,
+                confidence=ctx.confidence,
+                executor=ctx.session.executor,
+            )
+            estimates[key] = _estimate_payload(estimate)
+        else:
+            expected = scheme.data_bits * scheme.interleave_degree
+            if columns != expected:
+                raise ValueError(
+                    "array_data_columns must equal data_bits * "
+                    f"interleave_degree ({expected}) for the bit-accurate "
+                    "engine geometry"
+                )
+            payload, _counts = _rare_estimate(
+                ctx, EngineSpec.from_scheme(scheme, rows=rows), model, rare
+            )
+            estimates[key] = payload
     keys = tuple(estimates)
     series = [
         Series(
@@ -578,6 +845,7 @@ def _fig8_yield(ctx):
         "failing_cells": tuple(range(0, 41, 8)),
         "rows": 64,
     },
+    params=_RARE_KNOBS,
 )
 def _fig8_yield_mc(ctx):
     """Engine-backed validation of the ECC-only yield model.
@@ -629,6 +897,13 @@ def _fig8_yield_mc(ctx):
         "simulated_lower": [],
         "simulated_upper": [],
     }
+    rare = _rare_config(ctx)
+    if rare is not None and rare["estimator"] != "plain" and scenario_name != "hard_fault_map":
+        raise SpecError(
+            f"fig8.yield: estimator={rare['estimator']!r} needs the "
+            "hard_fault_map scenario (iid_uniform fixes the fault count, so "
+            "there is no count law to tilt or stratify)"
+        )
     for n_cells in failing_cells:
         curves["analytical"].append(model.yield_with_ecc_only(n_cells))
         if scenario_name == "iid_uniform":
@@ -637,11 +912,18 @@ def _fig8_yield_mc(ctx):
             fault_model = make_scenario(
                 "hard_fault_map", defect_density=n_cells / n_sites
             )
-        result = ctx.run_engine(spec, fault_model, seed=ctx.seed + n_cells)
-        estimate = result.estimate(ctx.confidence)
-        curves["simulated"].append(estimate.point)
-        curves["simulated_lower"].append(estimate.lower)
-        curves["simulated_upper"].append(estimate.upper)
+        if rare is None:
+            result = ctx.run_engine(spec, fault_model, seed=ctx.seed + n_cells)
+            estimate = result.estimate(ctx.confidence)
+            point, lower, upper = estimate.point, estimate.lower, estimate.upper
+        else:
+            payload, _counts = _rare_estimate(
+                ctx, spec, fault_model, rare, seed=ctx.seed + n_cells
+            )
+            point, lower, upper = payload["point"], payload["lower"], payload["upper"]
+        curves["simulated"].append(point)
+        curves["simulated_lower"].append(lower)
+        curves["simulated_upper"].append(upper)
     series = [
         Series("analytical", x=failing_cells, y=curves["analytical"], units="yield"),
         Series(
@@ -653,7 +935,10 @@ def _fig8_yield_mc(ctx):
             units="yield",
         ),
     ]
-    return ctx.result(curves, series, meta={"rows": rows, "scenario": scenario_name})
+    meta = {"rows": rows, "scenario": scenario_name}
+    if rare is not None:
+        meta["estimator"] = rare["estimator"]
+    return ctx.result(curves, series, meta=meta)
 
 
 @experiment(
@@ -697,7 +982,8 @@ def _fig8_reliability(ctx):
         "model": "cluster",
         "scenario": None,
     },
-    params=("footprints", "height", "width", "n_cells", "scenario_params"),
+    params=("footprints", "height", "width", "n_cells", "scenario_params")
+    + _RARE_KNOBS,
 )
 def _sweep_mc_coverage(ctx):
     """Coverage probability of one scheme/geometry/error-model point.
@@ -756,24 +1042,29 @@ def _sweep_mc_coverage(ctx):
         )
 
     spec = EngineSpec.from_scheme(scheme, rows=rows)
-    result = ctx.run_engine(spec, model)
-    estimate = result.estimate(ctx.confidence)
-    counts = result.counts.as_dict()
+    rare = _rare_config(ctx)
+    if rare is None:
+        result = ctx.run_engine(spec, model)
+        estimate = result.estimate(ctx.confidence)
+        counts = result.counts.as_dict()
+        payload = _estimate_payload(estimate)
+    else:
+        payload, counts = _rare_estimate(ctx, spec, model, rare)
     data = {
         "scheme": scheme_key,
         "scheme_name": scheme.name,
         "engine_spec": spec.to_key(),
         "error_model": model.to_key(),
         "counts": counts,
-        "estimate": _estimate_payload(estimate),
+        "estimate": payload,
     }
     series = [
         Series(
             "coverage",
             x=(scheme_key,),
-            y=(estimate.point,),
-            lower=(estimate.lower,),
-            upper=(estimate.upper,),
+            y=(payload["point"],),
+            lower=(payload["lower"],),
+            upper=(payload["upper"],),
         )
     ]
     return ctx.result(data, series)

@@ -153,6 +153,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(shorthand for -p scenario=NAME; see repro.scenarios)",
     )
     runner.add_argument(
+        "--tolerance",
+        type=float,
+        metavar="HW",
+        help="stop Monte Carlo sampling once the CI half-width reaches HW "
+        "instead of running a fixed trial budget (shorthand for "
+        "-p tolerance=HW)",
+    )
+    runner.add_argument(
+        "--estimator",
+        choices=("plain", "tilted", "stratified"),
+        help="rare-event estimator for Monte Carlo experiments "
+        "(shorthand for -p estimator=NAME)",
+    )
+    runner.add_argument(
+        "--tilt",
+        type=float,
+        metavar="THETA",
+        help="exponential tilting strength for --estimator tilted "
+        "(shorthand for -p tilt=THETA)",
+    )
+    runner.add_argument(
         "--json",
         metavar="PATH",
         nargs="?",
@@ -693,6 +714,16 @@ def _cmd_run(args) -> int:
                     f"-p scenario={params['scenario']}"
                 )
             params["scenario"] = args.scenario
+        for knob in ("tolerance", "estimator", "tilt"):
+            value = getattr(args, knob)
+            if value is None:
+                continue
+            if params.get(knob, value) != value:
+                raise SpecError(
+                    f"conflicting {knob}: --{knob} {value} vs "
+                    f"-p {knob}={params[knob]}"
+                )
+            params[knob] = value
         spec = ExperimentSpec(
             experiment=args.experiment,
             backend=args.backend,

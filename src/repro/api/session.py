@@ -36,9 +36,14 @@ from repro.obs.profile import ProfileConfig, RunProfiler
 
 from .registry import Experiment, get_experiment
 from .result import Result, Series
-from .spec import ExperimentSpec, SpecError
+from .spec import RARE_EVENT_PARAMS, ExperimentSpec, SpecError
 
 __all__ = ["ExperimentContext", "Session", "run"]
+
+#: Rare-event estimation knobs (see :mod:`repro.api.catalog`); they
+#: configure Monte Carlo sampling, so an analytical backend rejects
+#: them outright — same rule as ``trials``/``seed``.
+_RARE_EVENT_PARAMS = RARE_EVENT_PARAMS
 
 # Process-wide run accounting on the default metrics registry: every
 # session in the process (CLI, service workers, tests) reports here, so
@@ -161,6 +166,86 @@ class ExperimentContext:
             cache=self.session.cache,
             executor=self.session.executor,
             collect_verdicts=collect_verdicts,
+        )
+
+    def run_engine_sequential(
+        self,
+        engine_spec,
+        model,
+        *,
+        tolerance: float,
+        relative: bool = False,
+        target: str = "corrected",
+        seed: "int | None" = None,
+        max_trials: "int | None" = None,
+    ):
+        """Sequential (tolerance-stopped) engine run under session settings.
+
+        Replaces the fixed trial count with a CI half-width target; see
+        :func:`repro.engine.run_experiment_sequential`.  The spec's
+        ``trials`` (or the experiment default) caps the realized count
+        when ``max_trials`` is not given explicitly — a tolerance the
+        configuration cannot reach then stops at the familiar budget
+        instead of running away.
+        """
+        from repro.engine import run_experiment_sequential
+
+        seed = self.seed if seed is None else seed
+        if seed is None:
+            raise SpecError(
+                f"{self.spec.experiment}: Monte Carlo runs need a seed "
+                "(set it on the spec or register a default)"
+            )
+        if max_trials is None:
+            budget = self.trials
+            max_trials = max(budget, 1 << 20) if budget is not None else 1 << 20
+        return run_experiment_sequential(
+            engine_spec,
+            model,
+            seed,
+            tolerance=tolerance,
+            relative=relative,
+            confidence=self.confidence,
+            target=target,
+            max_trials=max_trials,
+            n_workers=self.session.workers,
+            cache=self.session.cache,
+            executor=self.session.executor,
+        )
+
+    def run_engine_stratified(
+        self,
+        engine_spec,
+        strata,
+        *,
+        trials: "int | None" = None,
+        seed: "int | None" = None,
+        allocation: str = "proportional",
+        target: str = "corrected",
+    ):
+        """Stratified engine run under session settings; returns the
+        combined :class:`repro.engine.StratifiedEstimate` (see
+        :func:`repro.engine.run_stratified`)."""
+        from repro.engine import run_stratified
+
+        trials = self.trials if trials is None else trials
+        seed = self.seed if seed is None else seed
+        if trials is None or seed is None:
+            raise SpecError(
+                f"{self.spec.experiment}: Monte Carlo runs need trials and seed "
+                "(set them on the spec or register defaults)"
+            )
+        return run_stratified(
+            engine_spec,
+            strata,
+            trials,
+            seed,
+            allocation=allocation,
+            target=target,
+            confidence=self.confidence,
+            n_workers=self.session.workers,
+            cache=self.session.cache,
+            executor=self.session.executor,
         )
 
     def result(
@@ -325,6 +410,20 @@ class Session:
             spec = spec.replaced(**overrides)
         experiment = get_experiment(spec.experiment)
         backend = spec.resolve_backend(experiment.backends)
+        if backend == "analytical":
+            # Checked before the generic unknown-params guard so the
+            # caller gets the real reason (wrong backend, not a typo'd
+            # name) — the same hard-error rule trials/seed follow.
+            rejected = sorted(
+                set(_RARE_EVENT_PARAMS) & set(spec.param_dict())
+            )
+            if rejected:
+                raise SpecError(
+                    f"{spec.experiment}: {', '.join(rejected)} only "
+                    "applies to the monte_carlo backend (the analytical "
+                    "model is exact; there is no sampling to tilt, "
+                    "stratify or stop early)"
+                )
         unknown = set(spec.param_dict()) - experiment.params_for(backend)
         if unknown:
             accepted = sorted(experiment.params_for(backend))

@@ -34,6 +34,20 @@ SPEC_VERSION = 1
 #: an experiment actually implements (preferring analytical).
 BACKENDS = ("auto", "analytical", "monte_carlo")
 
+#: The rare-event estimation knobs (see :mod:`repro.api.catalog`).  They
+#: only make sense for Monte Carlo sampling: ``auto`` backend resolution
+#: treats them like ``trials`` (prefer ``monte_carlo``), and
+#: :meth:`repro.api.Session.run` rejects them on analytical backends.
+RARE_EVENT_PARAMS = (
+    "estimator",
+    "tolerance",
+    "tolerance_relative",
+    "tilt",
+    "shift",
+    "strata",
+    "allocation",
+)
+
 
 class SpecError(ValueError):
     """An invalid or inconsistent experiment specification."""
@@ -184,6 +198,12 @@ class ExperimentSpec:
                 )
             return self.backend
         if self.trials is not None and "monte_carlo" in available:
+            return "monte_carlo"
+        if "monte_carlo" in available and set(RARE_EVENT_PARAMS).intersection(
+            self.param_dict()
+        ):
+            # A tolerance/estimator knob implies sampling just as a
+            # trial count does.
             return "monte_carlo"
         return available[0]
 

@@ -32,10 +32,16 @@ where the scalar path (:mod:`repro.array`) walks one bank bit by bit:
 """
 
 from .aggregate import (
+    WEIGHTED_TARGETS,
     CoverageEstimate,
     MeanEstimate,
+    StratifiedEstimate,
     StreamingAggregator,
     TrialCounts,
+    WeightedEstimate,
+    WeightedTally,
+    half_width,
+    relative_half_width,
     wilson_interval,
 )
 from .batch import (
@@ -67,13 +73,26 @@ from .rng import (
     block_seed_sequence,
     lane_generator,
 )
-from .runner import EngineResult, run_experiment
+from .runner import EngineResult, run_experiment, run_experiment_sequential
+from .strata import (
+    ALLOCATION_MODES,
+    Stratum,
+    neyman_allocation,
+    proportional_allocation,
+    run_stratified,
+)
 
 __all__ = [
     "CoverageEstimate",
     "MeanEstimate",
     "StreamingAggregator",
     "TrialCounts",
+    "WeightedTally",
+    "WeightedEstimate",
+    "StratifiedEstimate",
+    "WEIGHTED_TARGETS",
+    "half_width",
+    "relative_half_width",
     "wilson_interval",
     "VERDICT_CORRECTED",
     "VERDICT_DETECTED",
@@ -103,4 +122,10 @@ __all__ = [
     "lane_generator",
     "EngineResult",
     "run_experiment",
+    "run_experiment_sequential",
+    "Stratum",
+    "run_stratified",
+    "proportional_allocation",
+    "neyman_allocation",
+    "ALLOCATION_MODES",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import functools
 import logging
+import math
 import time
 from dataclasses import dataclass
 
@@ -28,7 +29,15 @@ from repro.obs import emit, memory_phase
 from repro.obs.profile import process_usage, usage_delta
 from repro.scenarios.sparse import SparseRowBatch
 
-from .aggregate import CoverageEstimate, StreamingAggregator, TrialCounts
+from .aggregate import (
+    WEIGHTED_TARGETS,
+    CoverageEstimate,
+    StreamingAggregator,
+    TrialCounts,
+    WeightedEstimate,
+    WeightedTally,
+    relative_half_width,
+)
 from .batch import EngineSpec, make_decoder, run_recovery_batch
 from .cache import ENGINE_VERSION, ResultCache, cache_key
 from .executor import SharedExecutor
@@ -45,7 +54,12 @@ from .rng import (
     n_blocks,
 )
 
-__all__ = ["EngineResult", "run_experiment", "EXECUTION_MODES"]
+__all__ = [
+    "EngineResult",
+    "run_experiment",
+    "run_experiment_sequential",
+    "EXECUTION_MODES",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -83,14 +97,43 @@ class EngineResult:
     block_size: int
     elapsed_seconds: float
     from_cache: bool = False
+    #: Weighted-indicator sums for importance-sampled models
+    #: (None on plain runs).
+    tally: "WeightedTally | None" = None
+    #: Per-trial likelihood-ratio weights in trial order (collected
+    #: alongside verdicts on weighted runs; None otherwise).
+    weights: "np.ndarray | None" = None
 
     @property
     def trials_per_second(self) -> float:
         return self.n_trials / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
+    @property
+    def is_weighted(self) -> bool:
+        return self.tally is not None
+
     def estimate(self, confidence: float = 0.95) -> CoverageEstimate:
-        """Coverage (fully-corrected fraction) with a Wilson interval."""
+        """Coverage (fully-corrected fraction) with a Wilson interval.
+
+        On weighted runs the raw verdict fractions describe the *tilted*
+        sampling law, not the nominal one — use
+        :meth:`weighted_estimate` there.
+        """
+        if self.is_weighted:
+            raise ValueError(
+                "this run used an importance-sampled model; unweighted "
+                "verdict fractions are biased — use weighted_estimate()"
+            )
         return CoverageEstimate.from_counts(self.counts, confidence)
+
+    def weighted_estimate(
+        self, target: str = "corrected", confidence: float = 0.95
+    ) -> WeightedEstimate:
+        """Horvitz–Thompson estimate of a verdict-class probability
+        under the nominal law (weighted runs only)."""
+        if self.tally is None:
+            raise ValueError("this run used an unweighted model; use estimate()")
+        return self.tally.estimate(target=target, confidence=confidence)
 
 
 def _sample_sparse_block(spec: EngineSpec, model, seed: int, block: int, block_size: int):
@@ -112,6 +155,30 @@ def _sample_sparse_block(spec: EngineSpec, model, seed: int, block: int, block_s
     return None
 
 
+def _sample_weighted_sparse_block(
+    spec: EngineSpec, model, seed: int, block: int, block_size: int
+):
+    """Weighted twin of :func:`_sample_sparse_block`: the block's
+    ``(SparseRowBatch, weights)`` or ``None`` (decline before drawing)."""
+    sparse_block = getattr(model, "sample_weighted_sparse_block", None)
+    if sparse_block is not None:
+        return sparse_block(BlockStreams(seed, block), block_size, spec)
+    sparse = getattr(model, "sample_weighted_sparse", None)
+    if sparse is not None:
+        return sparse(block_generator(seed, block), block_size, spec)
+    return None
+
+
+def _sample_weighted_block(
+    spec: EngineSpec, model, seed: int, block: int, block_size: int
+):
+    """The block's dense ``(masks, weights)`` from a weighted model."""
+    dense_block = getattr(model, "sample_weighted_block", None)
+    if dense_block is not None:
+        return dense_block(BlockStreams(seed, block), block_size, spec)
+    return model.sample_weighted(block_generator(seed, block), block_size, spec)
+
+
 def _run_trial_range(
     spec: EngineSpec,
     model,
@@ -121,7 +188,7 @@ def _run_trial_range(
     last_trial: int,
     collect_verdicts: bool,
     execution: str = "auto",
-) -> tuple[TrialCounts, "np.ndarray | None", dict]:
+) -> tuple[TrialCounts, "np.ndarray | None", "np.ndarray | None", "WeightedTally | None", dict]:
     """Evaluate trials ``[first_trial, last_trial)`` block by block.
 
     Samplers always draw for the whole block and slice, so any partition
@@ -137,7 +204,13 @@ def _run_trial_range(
     restriction of the dense one to the dirty rows), so this is purely a
     throughput knob, like the worker count.
 
-    The third return value is the shard's telemetry: wall-clock seconds,
+    Models advertising ``weighted = True`` sample through the
+    ``sample_weighted*`` family instead; each block's likelihood-ratio
+    weights are sliced exactly like its trials and accumulated into a
+    :class:`WeightedTally` in block order, so weighted streams keep the
+    same partition-invariance as plain ones.
+
+    The last return value is the shard's telemetry: wall-clock seconds,
     per-block dispatch decisions, and the worker's resource deltas
     (CPU seconds, RSS watermark, pid) — observational only; it reflects
     scheduling, never influences it.
@@ -146,7 +219,14 @@ def _run_trial_range(
     usage0 = process_usage()
     aggregator = StreamingAggregator()
     collected: list[np.ndarray] = []
+    collected_weights: list[np.ndarray] = []
     sample_block = getattr(model, "sample_block", None)
+    weighted = bool(getattr(model, "weighted", False))
+    # One tally PER BLOCK, never pre-summed: float addition is not
+    # associative, so folding must happen once, flat, in block order at
+    # the merge — otherwise the chunk size would leak into the last ulp
+    # of the weighted sums and break cross-worker bit-identity.
+    block_tallies: "list[WeightedTally] | None" = [] if weighted else None
     stats = {
         "trials": last_trial - first_trial,
         "blocks": 0,
@@ -157,7 +237,20 @@ def _run_trial_range(
     for piece in iter_block_slices(first_trial, last_trial, block_size):
         stats["blocks"] += 1
         batch = None
-        if execution != "dense":
+        masks = None
+        block_weights = None
+        if weighted:
+            if execution != "dense":
+                emitted = _sample_weighted_sparse_block(
+                    spec, model, seed, piece.block, block_size
+                )
+                if emitted is not None:
+                    batch, block_weights = emitted
+            if batch is None:
+                masks, block_weights = _sample_weighted_block(
+                    spec, model, seed, piece.block, block_size
+                )
+        elif execution != "dense":
             batch = _sample_sparse_block(spec, model, seed, piece.block, block_size)
         if batch is not None:
             sub = batch.slice_trials(piece.start, piece.stop)
@@ -179,12 +272,15 @@ def _run_trial_range(
                     spec, sub, _cached_packed_decoder(spec)
                 )
         else:
-            if sample_block is not None:
-                masks = sample_block(BlockStreams(seed, piece.block), block_size, spec)
-            else:
-                masks = model.sample(
-                    block_generator(seed, piece.block), block_size, spec
-                )
+            if masks is None:
+                if sample_block is not None:
+                    masks = sample_block(
+                        BlockStreams(seed, piece.block), block_size, spec
+                    )
+                else:
+                    masks = model.sample(
+                        block_generator(seed, piece.block), block_size, spec
+                    )
             sliced = masks[piece.start : piece.stop]
             row_any = sliced.any(axis=-1) if execution != "dense" else None
             if execution == "sparse" or (
@@ -200,33 +296,123 @@ def _run_trial_range(
                 stats["dense_blocks"] += 1
                 verdicts = run_recovery_batch(spec, sliced, _cached_decoder(spec))
         aggregator.update(verdicts)
+        if weighted:
+            piece_weights = np.asarray(
+                block_weights[piece.start : piece.stop], dtype=np.float64
+            )
+            block_tallies.append(
+                WeightedTally.from_verdicts(verdicts, piece_weights)
+            )
+            if collect_verdicts:
+                collected_weights.append(piece_weights)
         if collect_verdicts:
             collected.append(verdicts)
     merged = np.concatenate(collected) if collected else None
     if collect_verdicts and merged is None:
         merged = np.zeros(0, dtype=np.uint8)
+    merged_weights = None
+    if collect_verdicts and weighted:
+        merged_weights = (
+            np.concatenate(collected_weights)
+            if collected_weights
+            else np.zeros(0, dtype=np.float64)
+        )
     stats["elapsed"] = round(time.perf_counter() - started, 6)
     usage = usage_delta(usage0)
     stats["pid"] = usage["pid"]
     stats["cpu_seconds"] = usage["cpu_seconds"]
     stats["max_rss_bytes"] = usage["max_rss_bytes"]
-    return aggregator.counts, merged, stats
+    return aggregator.counts, merged, merged_weights, block_tallies, stats
 
 
-def _worker(payload: tuple) -> tuple[TrialCounts, "np.ndarray | None", dict]:
+def _worker(payload: tuple):
     return _run_trial_range(*payload)
 
 
 def _chunk_ranges(
-    n_trials: int, block_size: int, chunk_blocks: int
+    first_trial: int, last_trial: int, block_size: int, chunk_blocks: int
 ) -> list[tuple[int, int]]:
-    total_blocks = n_blocks(n_trials, block_size)
+    """Whole-block work items covering ``[first_trial, last_trial)``.
+
+    ``first_trial`` must sit on a block boundary (the sequential loop's
+    rounds always do; fixed-trial runs start at 0).
+    """
+    if first_trial % block_size:
+        raise ValueError("first_trial must be block-aligned")
+    first_block = first_trial // block_size
+    total_blocks = n_blocks(last_trial, block_size)
     ranges = []
-    for first_block in range(0, total_blocks, chunk_blocks):
-        first = first_block * block_size
-        last = min((first_block + chunk_blocks) * block_size, n_trials)
+    for chunk_first in range(first_block, total_blocks, chunk_blocks):
+        first = chunk_first * block_size
+        last = min((chunk_first + chunk_blocks) * block_size, last_trial)
         ranges.append((first, last))
     return ranges
+
+
+def _execute_ranges(
+    spec: EngineSpec,
+    model,
+    seed: int,
+    block_size: int,
+    ranges: "list[tuple[int, int]]",
+    collect_verdicts: bool,
+    execution: str,
+    executor: "SharedExecutor | None",
+    n_workers: int,
+    mp_context,
+) -> list:
+    """Fan the chunk ranges out and return their outcomes in chunk order."""
+    payloads = [
+        (spec, model, seed, block_size, first, last, collect_verdicts, execution)
+        for first, last in ranges
+    ]
+    with memory_phase("engine.run"):
+        if executor is not None:
+            return executor.map(_worker, payloads)
+        with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
+            return transient.map(_worker, payloads)
+
+
+def _emit_estimator(
+    *,
+    estimator: str,
+    target: str,
+    realized_trials: int,
+    point: float,
+    std_error: float,
+    half_width_value: float,
+    ess: float,
+    tolerance: "float | None" = None,
+    relative: bool = False,
+    rounds: "int | None" = None,
+) -> None:
+    """One ``engine.estimator`` telemetry event per estimator-aware run.
+
+    ``variance_reduction_factor`` compares the achieved variance against
+    what plain binomial sampling would deliver at the same trial count —
+    the honest "how many plain trials did this replace" number the
+    benchmarks gate on.
+    """
+    if std_error > 0 and 0.0 < point < 1.0 and realized_trials > 0:
+        plain_variance = point * (1.0 - point) / realized_trials
+        vrf = plain_variance / (std_error * std_error)
+    else:
+        vrf = 1.0
+    emit(
+        "engine.estimator",
+        logger=_log,
+        estimator=estimator,
+        target=target,
+        realized_trials=realized_trials,
+        point=point,
+        std_error=std_error,
+        half_width=half_width_value,
+        ess=ess,
+        variance_reduction_factor=vrf,
+        tolerance=tolerance,
+        relative=relative,
+        rounds=rounds,
+    )
 
 
 def run_experiment(
@@ -290,6 +476,7 @@ def run_experiment(
     if execution not in EXECUTION_MODES:
         raise ValueError(f"execution must be one of {EXECUTION_MODES}")
 
+    weighted = bool(getattr(model, "weighted", False))
     params = {
         "engine_version": ENGINE_VERSION,
         "spec": spec.to_key(),
@@ -312,13 +499,16 @@ def run_experiment(
     if cache is not None:
         payload = cache.load(key)
         if payload is not None:
-            verdicts = payload.get("verdicts")
-            if verdicts is not None:
-                verdicts = np.asarray(verdicts, dtype=np.uint8)
-            if verdicts is None and collect_verdicts:
-                pass  # cached without verdicts; fall through and re-run
-            else:
-                counts = TrialCounts.from_dict(payload)
+            cached = _result_from_payload(
+                payload,
+                spec=spec,
+                n_trials=n_trials,
+                seed=seed,
+                block_size=block_size,
+                collect_verdicts=collect_verdicts,
+                weighted=weighted,
+            )
+            if cached is not None:
                 emit(
                     "engine.run.finish",
                     logger=_log,
@@ -328,51 +518,33 @@ def run_experiment(
                     from_cache=True,
                     elapsed=0.0,
                 )
-                return EngineResult(
-                    spec=spec,
-                    counts=counts,
-                    verdicts=verdicts if collect_verdicts else None,
-                    n_trials=n_trials,
-                    seed=seed,
-                    block_size=block_size,
-                    elapsed_seconds=0.0,
-                    from_cache=True,
-                )
+                _maybe_emit_weighted(cached)
+                return cached
 
     started = time.perf_counter()
-    ranges = _chunk_ranges(n_trials, block_size, chunk_blocks)
-    payloads = [
-        (spec, model, seed, block_size, first, last, collect_verdicts, execution)
-        for first, last in ranges
-    ]
-    with memory_phase("engine.run"):
-        if executor is not None:
-            outcomes = executor.map(_worker, payloads)
-        else:
-            with SharedExecutor(workers=n_workers, mp_context=mp_context) as transient:
-                outcomes = transient.map(_worker, payloads)
+    ranges = _chunk_ranges(0, n_trials, block_size, chunk_blocks)
+    outcomes = _execute_ranges(
+        spec, model, seed, block_size, ranges,
+        collect_verdicts, execution, executor, n_workers, mp_context,
+    )
     elapsed = time.perf_counter() - started
 
-    aggregator = StreamingAggregator()
-    pieces: list[np.ndarray] = []
-    for index, (counts, verdicts, stats) in enumerate(outcomes):
-        emit("engine.shard", logger=_log, index=index, **stats)
-        aggregator.update(counts)
-        if collect_verdicts and verdicts is not None:
-            pieces.append(verdicts)
-    all_verdicts = (
-        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
-    ) if collect_verdicts else None
+    counts, all_verdicts, all_weights, block_tallies = _merge_outcomes(
+        outcomes, collect_verdicts, weighted
+    )
+    tally = _fold_tallies(block_tallies) if weighted else None
 
     result = EngineResult(
         spec=spec,
-        counts=aggregator.counts,
+        counts=counts,
         verdicts=all_verdicts,
         n_trials=n_trials,
         seed=seed,
         block_size=block_size,
         elapsed_seconds=elapsed,
         from_cache=False,
+        tally=tally,
+        weights=all_weights,
     )
     emit(
         "engine.run.finish",
@@ -384,9 +556,376 @@ def run_experiment(
         elapsed=round(elapsed, 6),
         trials_per_second=round(result.trials_per_second, 3),
     )
+    _maybe_emit_weighted(result)
     if cache is not None:
-        payload = dict(result.counts.as_dict())
-        if all_verdicts is not None:
-            payload["verdicts"] = all_verdicts
-        cache.store(key, payload, params)
+        cache.store(key, _payload_from_result(result), params)
     return result
+
+
+def _fold_tallies(block_tallies: "list[WeightedTally]") -> WeightedTally:
+    """Fold per-block tallies sequentially in block order.
+
+    One flat left fold over blocks is the canonical summation order:
+    any partition of the same blocks into chunks, rounds or workers
+    reproduces it bit for bit, because the partials are never pre-summed
+    along the way.
+    """
+    total = WeightedTally()
+    for tally in block_tallies:
+        total = total + tally
+    return total
+
+
+def _merge_outcomes(
+    outcomes: list, collect_verdicts: bool, weighted: bool
+):
+    """Merge chunk outcomes in chunk (trial) order.
+
+    Count sums are commutative-exact; weighted tallies stay a flat
+    per-block list (in block order) so the caller's single fold is
+    independent of the chunking.
+    """
+    aggregator = StreamingAggregator()
+    block_tallies: "list[WeightedTally] | None" = [] if weighted else None
+    pieces: list[np.ndarray] = []
+    weight_pieces: list[np.ndarray] = []
+    for index, (counts, verdicts, weights, chunk_tallies, stats) in enumerate(outcomes):
+        emit("engine.shard", logger=_log, index=index, **stats)
+        aggregator.update(counts)
+        if weighted and chunk_tallies is not None:
+            block_tallies.extend(chunk_tallies)
+        if collect_verdicts and verdicts is not None:
+            pieces.append(verdicts)
+        if collect_verdicts and weights is not None:
+            weight_pieces.append(weights)
+    all_verdicts = (
+        np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
+    ) if collect_verdicts else None
+    all_weights = (
+        np.concatenate(weight_pieces)
+        if weight_pieces
+        else np.zeros(0, dtype=np.float64)
+    ) if (collect_verdicts and weighted) else None
+    return aggregator.counts, all_verdicts, all_weights, block_tallies
+
+
+def _payload_from_result(result: EngineResult) -> dict:
+    """The cache payload for a finished run.
+
+    Plain runs keep the historical layout byte for byte; weighted runs
+    append the tally vector (and per-trial weights when collected) so a
+    hit can reconstruct the Horvitz–Thompson estimate exactly.
+    """
+    payload = dict(result.counts.as_dict())
+    if result.verdicts is not None:
+        payload["verdicts"] = result.verdicts
+    if result.tally is not None:
+        payload["weighted_tally"] = result.tally.as_array()
+    if result.weights is not None:
+        payload["weights"] = result.weights
+    return payload
+
+
+def _result_from_payload(
+    payload: dict,
+    *,
+    spec: EngineSpec,
+    n_trials: int,
+    seed: int,
+    block_size: int,
+    collect_verdicts: bool,
+    weighted: bool,
+) -> "EngineResult | None":
+    """Rebuild an :class:`EngineResult` from a cache payload, or ``None``
+    when the entry predates what this run needs (missing verdicts or
+    missing weighted fields) and must be recomputed."""
+    verdicts = payload.get("verdicts")
+    if verdicts is not None:
+        verdicts = np.asarray(verdicts, dtype=np.uint8)
+    if verdicts is None and collect_verdicts:
+        return None
+    tally = None
+    weights = None
+    if weighted:
+        raw_tally = payload.get("weighted_tally")
+        if raw_tally is None:
+            return None
+        tally = WeightedTally.from_array(raw_tally)
+        weights = payload.get("weights")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+        if weights is None and collect_verdicts:
+            return None
+    return EngineResult(
+        spec=spec,
+        counts=TrialCounts.from_dict(payload),
+        verdicts=verdicts if collect_verdicts else None,
+        n_trials=n_trials,
+        seed=seed,
+        block_size=block_size,
+        elapsed_seconds=0.0,
+        from_cache=True,
+        tally=tally,
+        weights=weights if collect_verdicts else None,
+    )
+
+
+def _maybe_emit_weighted(result: EngineResult) -> None:
+    """Emit the ``engine.estimator`` event for a fixed-trial weighted run
+    (the sequential loop emits its own, with stopping fields)."""
+    if result.tally is None:
+        return
+    estimate = result.weighted_estimate(target="uncorrected")
+    _emit_estimator(
+        estimator="weighted",
+        target="uncorrected",
+        realized_trials=result.n_trials,
+        point=estimate.point,
+        std_error=estimate.std_error,
+        half_width_value=estimate.half_width,
+        ess=estimate.ess,
+    )
+
+
+def run_experiment_sequential(
+    spec: EngineSpec,
+    model,
+    seed: int,
+    *,
+    tolerance: float,
+    relative: bool = False,
+    confidence: float = 0.95,
+    target: str = "corrected",
+    initial_trials: "int | None" = None,
+    growth: float = 2.0,
+    max_trials: int = 1 << 20,
+    n_workers: int = 1,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    chunk_blocks: int = 1,
+    collect_verdicts: bool = False,
+    cache: "ResultCache | None" = None,
+    execution: str = "auto",
+    executor: "SharedExecutor | None" = None,
+    mp_context=None,
+) -> EngineResult:
+    """Run trials until the CI half-width reaches ``tolerance``.
+
+    The fixed ``n_trials`` knob is replaced by a stopping rule: rounds
+    of whole RNG blocks are scheduled (starting at ``initial_trials``,
+    growing by ``growth`` per round, capped at ``max_trials``) and after
+    each round the running estimate — Wilson for plain models,
+    Horvitz–Thompson for weighted ones — is checked against the
+    requested half-width (absolute, or relative to the point estimate
+    with ``relative=True``).
+
+    Determinism: decisions happen only at round boundaries and only from
+    block-aggregated sums, and each round extends the *same* block-keyed
+    trial stream (trials ``[0, n)`` of a longer run are bit-identical to
+    a shorter one), so the realized trial count is a pure function of
+    ``(spec, model, seed, block_size, stopping rule)`` — worker count,
+    chunking and executor cannot change it.  The result is cached under
+    the stopping rule, not a trial count.
+    """
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if growth <= 1.0:
+        raise ValueError("growth must be > 1")
+    if target not in WEIGHTED_TARGETS:
+        raise ValueError(f"target must be one of {WEIGHTED_TARGETS}, got {target!r}")
+    if execution not in EXECUTION_MODES:
+        raise ValueError(f"execution must be one of {EXECUTION_MODES}")
+    if initial_trials is None:
+        initial_trials = 4 * block_size
+    if initial_trials < 1:
+        raise ValueError("initial_trials must be positive")
+    if max_trials < initial_trials:
+        raise ValueError("max_trials must be >= initial_trials")
+
+    weighted = bool(getattr(model, "weighted", False))
+    stopping = {
+        "tolerance": tolerance,
+        "relative": relative,
+        "confidence": confidence,
+        "target": target,
+        "initial_trials": initial_trials,
+        "growth": growth,
+        "max_trials": max_trials,
+    }
+    params = {
+        "engine_version": ENGINE_VERSION,
+        "spec": spec.to_key(),
+        "model": model.to_key(),
+        "seed": seed,
+        "block_size": block_size,
+        "sequential": stopping,
+    }
+    key = cache_key(params)
+    emit(
+        "engine.run.start",
+        logger=_log,
+        level=logging.INFO,
+        key=key,
+        n_trials=None,
+        tolerance=tolerance,
+        block_size=block_size,
+        execution=execution,
+        workers=executor.workers if executor is not None else n_workers,
+    )
+    if cache is not None:
+        payload = cache.load(key)
+        if payload is not None:
+            cached = _result_from_payload(
+                payload,
+                spec=spec,
+                n_trials=int(payload["n"]),
+                seed=seed,
+                block_size=block_size,
+                collect_verdicts=collect_verdicts,
+                weighted=weighted,
+            )
+            if cached is not None:
+                emit(
+                    "engine.run.finish",
+                    logger=_log,
+                    level=logging.INFO,
+                    key=key,
+                    n_trials=cached.n_trials,
+                    from_cache=True,
+                    elapsed=0.0,
+                )
+                _emit_sequential(cached, stopping, rounds=None)
+                return cached
+
+    def _round_targets():
+        goal = min(_round_up_blocks(initial_trials, block_size), max_trials)
+        while True:
+            yield goal
+            if goal >= max_trials:
+                return
+            goal = min(
+                _round_up_blocks(int(math.ceil(goal * growth)), block_size),
+                max_trials,
+            )
+
+    started = time.perf_counter()
+    counts = TrialCounts()
+    all_block_tallies: "list[WeightedTally] | None" = [] if weighted else None
+    tally = None
+    verdict_pieces: list[np.ndarray] = []
+    weight_pieces: list[np.ndarray] = []
+    realized = 0
+    rounds = 0
+    for goal in _round_targets():
+        ranges = _chunk_ranges(realized, goal, block_size, chunk_blocks)
+        outcomes = _execute_ranges(
+            spec, model, seed, block_size, ranges,
+            collect_verdicts, execution, executor, n_workers, mp_context,
+        )
+        round_counts, round_verdicts, round_weights, round_tallies = _merge_outcomes(
+            outcomes, collect_verdicts, weighted
+        )
+        counts = counts + round_counts
+        if weighted:
+            # Re-fold the full flat block list each round: the running
+            # tally is then byte-identical to a fixed-trial run of the
+            # realized count, whatever the round boundaries were.
+            all_block_tallies.extend(round_tallies)
+            tally = _fold_tallies(all_block_tallies)
+        if collect_verdicts:
+            verdict_pieces.append(round_verdicts)
+            if round_weights is not None:
+                weight_pieces.append(round_weights)
+        realized = goal
+        rounds += 1
+        estimate = _sequential_estimate(counts, tally, target, confidence)
+        if _tolerance_met(estimate, tolerance, relative):
+            break
+    elapsed = time.perf_counter() - started
+
+    all_verdicts = (
+        np.concatenate(verdict_pieces)
+        if verdict_pieces
+        else np.zeros(0, dtype=np.uint8)
+    ) if collect_verdicts else None
+    all_weights = (
+        np.concatenate(weight_pieces)
+        if weight_pieces
+        else np.zeros(0, dtype=np.float64)
+    ) if (collect_verdicts and weighted) else None
+
+    result = EngineResult(
+        spec=spec,
+        counts=counts,
+        verdicts=all_verdicts,
+        n_trials=realized,
+        seed=seed,
+        block_size=block_size,
+        elapsed_seconds=elapsed,
+        from_cache=False,
+        tally=tally,
+        weights=all_weights,
+    )
+    emit(
+        "engine.run.finish",
+        logger=_log,
+        level=logging.INFO,
+        key=key,
+        n_trials=realized,
+        from_cache=False,
+        elapsed=round(elapsed, 6),
+        trials_per_second=round(result.trials_per_second, 3),
+    )
+    _emit_sequential(result, stopping, rounds=rounds)
+    if cache is not None:
+        cache.store(key, _payload_from_result(result), params)
+    return result
+
+
+def _round_up_blocks(trials: int, block_size: int) -> int:
+    """Smallest whole-block trial count >= ``trials``."""
+    return n_blocks(trials, block_size) * block_size
+
+
+def _sequential_estimate(
+    counts: TrialCounts,
+    tally: "WeightedTally | None",
+    target: str,
+    confidence: float,
+):
+    """The running estimate the stopping rule inspects — exactly the
+    estimate the finished run will report."""
+    if tally is not None:
+        return tally.estimate(target=target, confidence=confidence)
+    return CoverageEstimate.from_binomial(
+        counts.target_count(target), counts.n, confidence
+    )
+
+
+def _tolerance_met(estimate, tolerance: float, relative: bool) -> bool:
+    if relative:
+        return (
+            relative_half_width(estimate.point, estimate.lower, estimate.upper)
+            <= tolerance
+        )
+    return estimate.half_width <= tolerance
+
+
+def _emit_sequential(
+    result: EngineResult, stopping: dict, rounds: "int | None"
+) -> None:
+    estimate = _sequential_estimate(
+        result.counts, result.tally, stopping["target"], stopping["confidence"]
+    )
+    ess = estimate.ess if result.tally is not None else float(result.n_trials)
+    _emit_estimator(
+        estimator="weighted" if result.tally is not None else "plain",
+        target=stopping["target"],
+        realized_trials=result.n_trials,
+        point=estimate.point,
+        std_error=estimate.std_error,
+        half_width_value=estimate.half_width,
+        ess=ess,
+        tolerance=stopping["tolerance"],
+        relative=stopping["relative"],
+        rounds=rounds,
+    )

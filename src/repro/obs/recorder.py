@@ -314,6 +314,28 @@ class RunRecorder:
                 "maps": counts.get("events.executor.map", 0),
             },
         }
+        estimator_events = self._select("engine.estimator")
+        if estimator_events:
+            realized = sum(
+                int(e.get("realized_trials", 0)) for e in estimator_events
+            )
+            weighted_vrf = sum(
+                float(e.get("variance_reduction_factor", 1.0))
+                * int(e.get("realized_trials", 0))
+                for e in estimator_events
+            )
+            summary["ess"] = round(
+                sum(float(e.get("ess", 0.0)) for e in estimator_events), 3
+            )
+            summary["realized_trials"] = realized
+            # Trial-weighted mean across estimator runs: one big tilted
+            # run should dominate a handful of pilot blocks.
+            summary["variance_reduction_factor"] = round(
+                weighted_vrf / realized if realized else 1.0, 6
+            )
+            summary["estimators"] = sorted(
+                {str(e.get("estimator")) for e in estimator_events}
+            )
         if run_finish is not None and "error" in run_finish:
             summary["error"] = run_finish["error"]
         # Overall cache-hit status: True when every simulation this run

@@ -15,6 +15,10 @@ numbers surface* (:mod:`repro.api`):
 * :mod:`repro.scenarios.models` — the built-ins: ``iid_uniform``,
   ``clustered_mbu``, ``fixed_cluster``, ``burst_row``,
   ``burst_column``, ``hard_fault_map`` and ``composite``.
+* :mod:`repro.scenarios.rare` — rare-event laws: exponentially tilted
+  importance-sampling twins of the hard-fault and clustered models
+  (``tilted_hard_fault_map``, ``tilted_clustered_mbu``) and the
+  band-conditioned ``fault_count_band`` stratification model.
 * :mod:`repro.scenarios.sparse` — :class:`SparseRowBatch`, the dirty
   rows-only interchange format scenarios may emit through
   ``sample_sparse`` so the engine never materializes (or decodes) the
@@ -45,10 +49,22 @@ from .models import (
     HardFaultMapScenario,
     IidUniformScenario,
 )
+from .rare import (
+    FaultCountBandScenario,
+    TiltedClusteredMbuScenario,
+    TiltedHardFaultMapScenario,
+    WeightedScenarioBase,
+    poisson_band_probability,
+)
 from .sparse import SparseRowBatch
 
 __all__ = [
     "SparseRowBatch",
+    "WeightedScenarioBase",
+    "FaultCountBandScenario",
+    "TiltedClusteredMbuScenario",
+    "TiltedHardFaultMapScenario",
+    "poisson_band_probability",
     "Geometry",
     "ScenarioBase",
     "ScenarioModel",

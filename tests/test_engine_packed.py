@@ -213,6 +213,19 @@ class TestSparseEmitters:
                 model = cls(height=2, width=5)
             else:
                 model = cls()
+            if getattr(model, "weighted", False):
+                # Weighted scenarios expose the same sparse-or-decline
+                # contract through the likelihood-ratio-carrying API.
+                out = model.sample_weighted_sparse(block_generator(1, 0), 32, spec)
+                if out is None:
+                    continue
+                batch, weights = out
+                dense, dense_weights = model.sample_weighted(
+                    block_generator(1, 0), 32, spec
+                )
+                assert np.array_equal(batch.densify(), dense), name
+                assert np.array_equal(weights, dense_weights), name
+                continue
             batch = model.sample_sparse(block_generator(1, 0), 32, spec)
             if batch is None:
                 continue  # dense-only configuration; the runner falls back

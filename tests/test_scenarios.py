@@ -62,7 +62,24 @@ SCENARIO_CONFIGS = {
         "soft": {"scenario": "clustered_mbu"},
         "hard": {"scenario": "hard_fault_map", "defect_density": 0.001},
     },
+    "tilted_hard_fault_map": {"defect_density": 0.002, "tilt": 1.5},
+    "tilted_clustered_mbu": {
+        "footprints": (((1, 1), 0.6), ((3, 3), 0.4)),
+        "tilt": 0.4,
+    },
+    "fault_count_band": {"defect_density": 0.002, "k_min": 1, "k_max": 3},
 }
+
+
+def _sample_any(model, rng, count, spec):
+    """Masks from either sampling protocol (weights dropped for the
+    shape/determinism contracts, which are weight-agnostic)."""
+    if getattr(model, "weighted", False):
+        masks, weights = model.sample_weighted(rng, count, spec)
+        assert weights.shape == (count,)
+        assert np.isfinite(weights).all() and (weights >= 0).all()
+        return masks
+    return model.sample(rng, count, spec)
 
 
 def test_config_table_covers_every_registered_scenario():
@@ -114,16 +131,22 @@ class TestRegistry:
 class TestEveryScenario:
     def test_masks_well_formed(self, name):
         model = make_scenario(name, **SCENARIO_CONFIGS[name])
-        masks = model.sample(block_generator(0, 0), 24, SPEC)
+        masks = _sample_any(model, block_generator(0, 0), 24, SPEC)
         assert masks.shape == (24, SPEC.rows, SPEC.row_bits)
         assert masks.dtype == np.uint8
         assert set(np.unique(masks)) <= {0, 1}
 
     def test_deterministic_per_block(self, name):
         model = make_scenario(name, **SCENARIO_CONFIGS[name])
-        a = model.sample_block(BlockStreams(5, 3), 16, SPEC)
-        b = model.sample_block(BlockStreams(5, 3), 16, SPEC)
-        assert np.array_equal(a, b)
+        if getattr(model, "weighted", False):
+            a_masks, a_w = model.sample_weighted_block(BlockStreams(5, 3), 16, SPEC)
+            b_masks, b_w = model.sample_weighted_block(BlockStreams(5, 3), 16, SPEC)
+            assert np.array_equal(a_w, b_w)
+            assert np.array_equal(a_masks, b_masks)
+        else:
+            a = model.sample_block(BlockStreams(5, 3), 16, SPEC)
+            b = model.sample_block(BlockStreams(5, 3), 16, SPEC)
+            assert np.array_equal(a, b)
 
     def test_to_key_is_json_pure_and_stable(self, name):
         import json
@@ -140,6 +163,11 @@ class TestEveryScenario:
         parallel = run_experiment(SPEC, model, **kwargs, n_workers=4, chunk_blocks=2)
         assert serial.counts == parallel.counts
         assert np.array_equal(serial.verdicts, parallel.verdicts)
+        if getattr(model, "weighted", False):
+            assert np.array_equal(serial.weights, parallel.weights)
+            assert np.array_equal(
+                serial.tally.as_array(), parallel.tally.as_array()
+            )
 
 
 # ----------------------------------------------------------------------
